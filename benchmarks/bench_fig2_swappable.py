@@ -1,0 +1,60 @@
+"""Fig. 2 — swappable-pin identification inside supergates.
+
+Benchmarks the paper's figure circuit (h and k non-inverting swappable
+under an AND-over-NOR supergate), then reports the swap-freedom census
+and the supergate statistics (Table 1 columns 12-13) over the flow's
+circuits.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.builder import NetworkBuilder
+from repro.network.netlist import Pin
+from repro.suite.registry import REGISTRY
+from repro.symmetry.supergate import extract_supergates
+from repro.symmetry.swap import count_swappable_pairs, swap_kinds
+
+from conftest import table1_names
+
+
+def _fig2():
+    builder = NetworkBuilder("fig2")
+    h, k, x = builder.inputs(3, prefix="p")
+    inner = builder.nor(h, k, name="inner")
+    builder.output(builder.and_(inner, x, name="f"))
+    return builder.build()
+
+
+def test_fig2_pins_swappable(benchmark):
+    net = _fig2()
+    sgn = benchmark(extract_supergates, net)
+    sg = sgn.supergates["f"]
+    # the paper's claim: h and k are non-inverting swappable
+    assert swap_kinds(sg, Pin("inner", 0), Pin("inner", 1)) == {
+        "non-inverting"
+    }
+    print("\nFig.2: imp values",
+          {str(leaf.pin): leaf.imp_value for leaf in sg.leaves})
+
+
+@pytest.mark.parametrize("name", table1_names()[:6])
+def test_swap_census(benchmark, name, library, outcome_cache):
+    """Swap-pair counts + coverage/L against the paper's columns."""
+    outcome = outcome_cache.get(name, library)
+    network = outcome.network
+
+    def census():
+        sgn = extract_supergates(network)
+        return sgn, count_swappable_pairs(sgn)
+
+    sgn, counts = benchmark.pedantic(census, rounds=1, iterations=1)
+    paper = REGISTRY[name].paper
+    print(
+        f"\n{name}: coverage {sgn.coverage() * 100:.1f}% "
+        f"(paper {paper.coverage_percent}), "
+        f"L {sgn.max_supergate_inputs()} "
+        f"(paper {paper.max_supergate_inputs}), swap pairs {counts}"
+    )
+    assert counts["non-inverting"] + counts["inverting"] > 0

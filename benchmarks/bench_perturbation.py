@@ -1,0 +1,46 @@
+"""Section 5's discipline: the existing placement is left intact.
+
+Audits what each optimization mode did to the placement: gsg must move
+zero cells (only inverters may appear/disappear), GS moves zero cells
+by construction, and the combination inherits both properties.  Also
+reports the paper's closing observation about large-fanout nets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rapids.report import fanout_profile
+
+from conftest import table1_names
+
+
+@pytest.mark.parametrize("name", table1_names()[:4])
+def test_placement_perturbation_audit(benchmark, name, library,
+                                      outcome_cache):
+    outcome = benchmark.pedantic(
+        outcome_cache.get, args=(name, library), rounds=1, iterations=1,
+    )
+    print(f"\n{name}:")
+    for mode, result in outcome.results.items():
+        audit = result.perturbation
+        print(
+            f"  {mode:7s} moved={audit['moved_cells']:.0f} "
+            f"added={audit['added_cells']:.0f} "
+            f"removed={audit['removed_cells']:.0f} "
+            f"displacement={audit['total_displacement']:.1f} um"
+        )
+        assert audit["moved_cells"] == 0, mode
+        if mode == "gs":
+            assert audit["added_cells"] == 0
+
+
+def test_fanout_profile_observation(benchmark, library, outcome_cache):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    """Section 6: 'the SIS mapper often generates very large fanout
+    nets ... in such a case gsg+GS has a hard time improving'."""
+    name = table1_names()[0]
+    outcome = outcome_cache.get(name, library)
+    profile = fanout_profile(outcome.network)
+    print(f"\n{name} fanout profile: {profile}")
+    assert profile["max_fanout"] >= 1

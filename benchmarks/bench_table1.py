@@ -1,0 +1,103 @@
+"""Table 1 — the paper's experimental results, regenerated.
+
+One bench per circuit runs the full Section 6 flow (generate,
+script.rugged, inject ISCAS-style redundancy, map, presize, place) and
+then the three optimizers; the measured row is printed next to the
+paper's.  A final summary prints suite averages against the paper's
+bottom line (gsg 3.1 %, GS 5.4 %, gsg+GS 9.0 %, areas −2.2/−2.3 %,
+coverage 27.6 %) and checks the qualitative shape:
+
+* the combined gsg+GS beats either technique alone on average,
+* rewiring alone leaves every placed cell where it was,
+* area stays roughly flat (single-digit percent) under GS and gsg+GS.
+
+Absolute numbers differ from the paper (generated circuits, Python
+substrate); the *shape* is the reproduction target (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rapids.report import Table1Row, averages
+from repro.suite.registry import PAPER_AVERAGES, REGISTRY
+
+from conftest import table1_names
+
+_ROWS: dict[str, Table1Row] = {}
+
+
+@pytest.mark.parametrize("name", table1_names())
+def test_table1_row(benchmark, name, library, outcome_cache):
+    """Run the full flow for one circuit and record its row."""
+    outcome = benchmark.pedantic(
+        outcome_cache.get, args=(name, library), rounds=1, iterations=1,
+    )
+    row = outcome.row
+    assert row is not None
+    _ROWS[name] = row
+    paper = REGISTRY[name].paper
+    print()
+    print(Table1Row.HEADER)
+    print(row.format() + "   <- measured")
+    print(
+        f"{name:<10}{paper.gates:>7d}{paper.init_ns:>7.2f}"
+        f"{paper.gsg_percent:>7.1f}{paper.gs_percent:>7.1f}"
+        f"{paper.gsg_gs_percent:>7.1f}"
+        f"{paper.gsg_cpu:>7.1f}{paper.gs_cpu:>7.1f}"
+        f"{paper.gsg_gs_cpu:>8.1f}"
+        f"{paper.gs_area_percent:>7.1f}{paper.gsg_gs_area_percent:>8.1f}"
+        f"{paper.coverage_percent:>7.1f}"
+        f"{paper.max_supergate_inputs:>5d}{paper.redundancies:>6d}"
+        "   <- paper"
+    )
+    # per-row sanity: optimizers never regress and report real data
+    for mode, result in outcome.results.items():
+        assert result.optimize.final_delay <= (
+            result.optimize.initial_delay + 1e-9
+        ), mode
+    assert outcome.results["gsg"].perturbation["moved_cells"] == 0
+
+
+def test_table1_summary(benchmark, library, outcome_cache):
+    """Suite averages and the paper's qualitative shape checks."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    names = table1_names()
+    for name in names:
+        if name not in _ROWS:
+            _ROWS[name] = outcome_cache.get(name, library).row
+    rows = [_ROWS[name] for name in names]
+    print()
+    print(Table1Row.HEADER)
+    for row in rows:
+        print(row.format())
+    avg = averages(rows)
+    print(
+        f"{'ave.':<10}{'':14}"
+        f"{avg['gsg_percent']:>7.1f}{avg['gs_percent']:>7.1f}"
+        f"{avg['gsg_gs_percent']:>7.1f}{'':22}"
+        f"{avg['gs_area_percent']:>7.1f}{avg['gsg_gs_area_percent']:>8.1f}"
+        f"{avg['coverage_percent']:>7.1f}"
+    )
+    print(
+        f"{'paper ave.':<10}{'':14}"
+        f"{PAPER_AVERAGES['gsg_percent']:>7.1f}"
+        f"{PAPER_AVERAGES['gs_percent']:>7.1f}"
+        f"{PAPER_AVERAGES['gsg_gs_percent']:>7.1f}{'':22}"
+        f"{PAPER_AVERAGES['gs_area_percent']:>7.1f}"
+        f"{PAPER_AVERAGES['gsg_gs_area_percent']:>8.1f}"
+        f"{PAPER_AVERAGES['coverage_percent']:>7.1f}"
+    )
+    # shape check 1: techniques help, and the combination helps most
+    assert avg["gsg_gs_percent"] > 0
+    assert avg["gsg_gs_percent"] >= avg["gsg_percent"] - 0.5
+    # shape check 2: area stays in the single digits on average
+    assert abs(avg["gs_area_percent"]) < 10
+    assert abs(avg["gsg_gs_area_percent"]) < 10
+    # shape check 3 (superadditivity, Section 6's observation): on a
+    # meaningful fraction of circuits gsg+GS beats the max of the parts
+    wins = sum(
+        1 for row in rows
+        if row.gsg_gs_percent >= max(row.gsg_percent, row.gs_percent) - 0.3
+    )
+    assert wins >= len(rows) // 3, (wins, len(rows))

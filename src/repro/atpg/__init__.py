@@ -1,0 +1,27 @@
+"""ATPG substrate: D-calculus search, stuck-at faults, symmetry baseline."""
+
+from .faults import Fault, all_faults, fault_site_support
+from .podem import AtpgResult, evaluate_gate, find_test, is_testable, simulate5
+from .redundancy import (
+    prove_branch_redundant,
+    prove_stem_redundant,
+    untestable_fault_count,
+)
+from .symmetry import es_by_atpg, nes_by_atpg, pin_symmetry_by_atpg
+
+__all__ = [
+    "AtpgResult",
+    "Fault",
+    "all_faults",
+    "es_by_atpg",
+    "evaluate_gate",
+    "fault_site_support",
+    "find_test",
+    "is_testable",
+    "nes_by_atpg",
+    "pin_symmetry_by_atpg",
+    "prove_branch_redundant",
+    "prove_stem_redundant",
+    "simulate5",
+    "untestable_fault_count",
+]

@@ -1,0 +1,54 @@
+"""Stuck-at fault model.
+
+Faults live on a net's stem (``pin=None``) or on a single fanout branch
+(``pin`` set) — the distinction Fig. 1 of the paper turns on: case 2
+proves a *branch* untestable while the stem may still be testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..network.netlist import Network, Pin
+
+
+@dataclass(frozen=True)
+class Fault:
+    """A single stuck-at fault."""
+
+    net: str
+    stuck_at: int
+    pin: Pin | None = None  # None = stem fault, else this branch only
+
+    def __str__(self) -> str:
+        location = str(self.pin) if self.pin is not None else self.net
+        return f"{location} s-a-{self.stuck_at}"
+
+
+def all_faults(network: Network, include_branches: bool = True) -> Iterator[Fault]:
+    """Enumerate stem (and optionally branch) stuck-at faults."""
+    for net in network.nets():
+        for value in (0, 1):
+            yield Fault(net=net, stuck_at=value)
+            if include_branches and len(network.fanout(net)) > 1:
+                for pin in network.fanout(net):
+                    yield Fault(net=net, stuck_at=value, pin=pin)
+
+
+def fault_site_support(network: Network, fault: Fault) -> list[str]:
+    """Primary inputs that can influence the fault site or its effects."""
+    support: set[str] = set()
+    if network.is_input(fault.net):
+        support.add(fault.net)
+    else:
+        support.update(
+            pi
+            for pi in network.cone_inputs(fault.net)
+        )
+    # inputs feeding the propagation cone's side inputs
+    downstream = network.fanout_cone(fault.net)
+    for name in downstream:
+        for pi in network.cone_inputs(name):
+            support.add(pi)
+    return [pi for pi in network.inputs if pi in support]

@@ -1,0 +1,84 @@
+"""Redundancy proofs via test generation.
+
+A stuck-at fault with no test is untestable, and the corresponding wire
+or gate is redundant.  This is the classical (RAMBO-style) machinery
+the paper's "easy" detection shortcuts: Fig. 1 events found during
+supergate extraction can be confirmed here, and the test suite checks
+that every injected redundancy of ``repro.suite.redundant`` is indeed
+untestable.
+"""
+
+from __future__ import annotations
+
+from ..network.netlist import Network, Pin
+from .faults import Fault
+from .podem import find_test
+
+
+def prove_branch_redundant(
+    network: Network,
+    pin: Pin,
+    stuck_at: int,
+    max_backtracks: int = 20000,
+) -> bool | None:
+    """Is the branch feeding *pin* stuck-at-*stuck_at* untestable?
+
+    ``True`` = proven redundant, ``False`` = a test exists, ``None`` =
+    budget exhausted.
+    """
+    net = network.fanin_net(pin)
+    result = find_test(
+        network,
+        fault=Fault(net=net, stuck_at=stuck_at, pin=pin),
+        max_backtracks=max_backtracks,
+    )
+    if result.test is not None:
+        return False
+    if result.proven_untestable:
+        return True
+    return None
+
+
+def prove_stem_redundant(
+    network: Network,
+    net: str,
+    stuck_at: int,
+    max_backtracks: int = 20000,
+) -> bool | None:
+    """Is the stem of *net* stuck-at-*stuck_at* untestable?"""
+    result = find_test(
+        network,
+        fault=Fault(net=net, stuck_at=stuck_at),
+        max_backtracks=max_backtracks,
+    )
+    if result.test is not None:
+        return False
+    if result.proven_untestable:
+        return True
+    return None
+
+
+def untestable_fault_count(
+    network: Network,
+    max_faults: int | None = None,
+    max_backtracks: int = 4000,
+) -> dict[str, int]:
+    """Census of untestable stem faults (slow; for small circuits)."""
+    from .faults import all_faults
+
+    counts = {"testable": 0, "untestable": 0, "undecided": 0}
+    examined = 0
+    for fault in all_faults(network, include_branches=False):
+        if max_faults is not None and examined >= max_faults:
+            break
+        examined += 1
+        result = find_test(
+            network, fault=fault, max_backtracks=max_backtracks
+        )
+        if result.test is not None:
+            counts["testable"] += 1
+        elif result.proven_untestable:
+            counts["untestable"] += 1
+        else:
+            counts["undecided"] += 1
+    return counts

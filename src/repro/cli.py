@@ -1,0 +1,156 @@
+"""Command-line front end: ``rapids <command>``.
+
+Commands:
+
+* ``table1 [names...]``   — run the Section 6 flow and print Table 1
+* ``bench <name>``        — one benchmark, verbose per-mode report
+* ``symmetries <file>``   — extract supergates / swappable pins from a
+  BLIF or .bench netlist and print the census
+* ``list``                — registered benchmarks with paper reference
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .library.cells import default_library
+from .rapids.report import Table1Row, averages
+from .suite.flow import FlowConfig, run_benchmark, run_suite
+from .suite.registry import PAPER_AVERAGES, REGISTRY, benchmark_names
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print(f"{'name':<10}{'family':<12}{'paper gates':>12}{'init ns':>9}")
+    for name in benchmark_names():
+        spec = REGISTRY[name]
+        print(
+            f"{name:<10}{spec.family:<12}{spec.paper.gates:>12}"
+            f"{spec.paper.init_ns:>9.1f}"
+        )
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    config = FlowConfig(
+        scale=args.scale,
+        check_equivalence=args.verify,
+    )
+    names = args.names or benchmark_names()
+    print(Table1Row.HEADER)
+    rows = []
+
+    def progress(outcome) -> None:
+        rows.append(outcome.row)
+        print(outcome.row.format())
+        sys.stdout.flush()
+
+    run_suite(names, config, progress=progress)
+    avg = averages(rows)
+    print(
+        f"{'ave.':<10}{'':>7}{'':>7}"
+        f"{avg['gsg_percent']:>7.1f}{avg['gs_percent']:>7.1f}"
+        f"{avg['gsg_gs_percent']:>7.1f}{'':>22}"
+        f"{avg['gs_area_percent']:>7.1f}{avg['gsg_gs_area_percent']:>8.1f}"
+        f"{avg['coverage_percent']:>7.1f}"
+    )
+    print(
+        "paper ave.        "
+        f" gsg {PAPER_AVERAGES['gsg_percent']:.1f}"
+        f"  GS {PAPER_AVERAGES['gs_percent']:.1f}"
+        f"  gsg+GS {PAPER_AVERAGES['gsg_gs_percent']:.1f}"
+        f"  areas {PAPER_AVERAGES['gs_area_percent']:.1f}/"
+        f"{PAPER_AVERAGES['gsg_gs_area_percent']:.1f}"
+        f"  cov {PAPER_AVERAGES['coverage_percent']:.1f}"
+    )
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    config = FlowConfig(scale=args.scale, check_equivalence=args.verify)
+    outcome = run_benchmark(args.name, config)
+    print(f"benchmark {args.name} (scale {outcome.scale})")
+    print(f"  gates {len(outcome.network)}  depth "
+          f"{outcome.network.depth()}  hpwl {outcome.hpwl:.0f} um")
+    print(f"  initial delay {outcome.initial_delay:.3f} ns  "
+          f"area {outcome.initial_area:.0f} um^2")
+    for key, value in sorted(outcome.stats.items()):
+        print(f"  {key}: {value:.1f}")
+    for mode, result in outcome.results.items():
+        print(
+            f"  {mode:7s} {result.optimize.initial_delay:.3f} -> "
+            f"{result.optimize.final_delay:.3f} ns "
+            f"({result.improvement_percent:+.1f}%), area "
+            f"{result.area_delta_percent:+.1f}%, "
+            f"{result.optimize.moves_applied} moves, "
+            f"{result.runtime_seconds:.1f}s"
+            + (
+                f", equivalent={result.equivalent}"
+                if result.equivalent is not None else ""
+            )
+        )
+    return 0
+
+
+def _cmd_symmetries(args: argparse.Namespace) -> int:
+    from .network.bench_io import read_bench
+    from .network.blif import read_blif
+    from .symmetry.redundancy import find_easy_redundancies, redundancy_counts
+    from .symmetry.supergate import extract_supergates
+    from .symmetry.swap import count_swappable_pairs
+
+    with open(args.file) as handle:
+        if args.file.endswith(".bench"):
+            network = read_bench(handle)
+        else:
+            network = read_blif(handle)
+    sgn = extract_supergates(network)
+    print(f"{network.name}: {len(network)} gates, "
+          f"{len(sgn.supergates)} supergates")
+    for key, value in sorted(sgn.stats().items()):
+        print(f"  {key}: {value}")
+    for key, value in count_swappable_pairs(sgn).items():
+        print(f"  {key}: {value}")
+    for key, value in redundancy_counts(
+        find_easy_redundancies(network, sgn)
+    ).items():
+        print(f"  redundancy_{key}: {value}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``rapids`` console script."""
+    parser = argparse.ArgumentParser(
+        prog="rapids",
+        description="RAPIDS (DAC 2000) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="registered benchmarks")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_table = sub.add_parser("table1", help="reproduce Table 1")
+    p_table.add_argument("names", nargs="*", help="subset of benchmarks")
+    p_table.add_argument("--scale", type=float, default=None)
+    p_table.add_argument("--verify", action="store_true",
+                         help="check functional equivalence per mode")
+    p_table.set_defaults(func=_cmd_table1)
+
+    p_bench = sub.add_parser("bench", help="one benchmark, verbose")
+    p_bench.add_argument("name")
+    p_bench.add_argument("--scale", type=float, default=None)
+    p_bench.add_argument("--verify", action="store_true")
+    p_bench.set_defaults(func=_cmd_bench)
+
+    p_sym = sub.add_parser(
+        "symmetries", help="supergate census of a BLIF/.bench file"
+    )
+    p_sym.add_argument("file")
+    p_sym.set_defaults(func=_cmd_symmetries)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,135 @@
+"""Five-valued logic for the D-calculus (Roth, 1966).
+
+The paper's theory is phrased in terms of the D-notation: ``D`` is the
+composite value (good 1 / faulty 0) and ``DBAR`` its complement (good
+0 / faulty 1).  ``X`` is the unassigned value.  Each composite value is
+represented as the pair of its good-circuit and faulty-circuit binary
+values, which makes gate evaluation a two-channel Boolean evaluation.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Value(enum.Enum):
+    """Five-valued D-calculus signal value."""
+
+    ZERO = (0, 0)
+    ONE = (1, 1)
+    D = (1, 0)      # good 1, faulty 0
+    DBAR = (0, 1)   # good 0, faulty 1
+    X = (None, None)
+
+    @property
+    def good(self) -> int | None:
+        """Good-circuit binary value (``None`` when unassigned)."""
+        return self.value[0]
+
+    @property
+    def faulty(self) -> int | None:
+        """Faulty-circuit binary value (``None`` when unassigned)."""
+        return self.value[1]
+
+    def is_assigned(self) -> bool:
+        """True for any value other than X."""
+        return self is not Value.X
+
+    def is_binary(self) -> bool:
+        """True for plain 0 / 1."""
+        return self in (Value.ZERO, Value.ONE)
+
+    def is_fault_effect(self) -> bool:
+        """True for D or DBAR (the good and faulty values differ)."""
+        return self in (Value.D, Value.DBAR)
+
+    def negate(self) -> "Value":
+        """Logical complement (X stays X)."""
+        return _NEGATE[self]
+
+    def __invert__(self) -> "Value":
+        return self.negate()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return _NAMES[self]
+
+
+_NEGATE = {
+    Value.ZERO: Value.ONE,
+    Value.ONE: Value.ZERO,
+    Value.D: Value.DBAR,
+    Value.DBAR: Value.D,
+    Value.X: Value.X,
+}
+
+_NAMES = {
+    Value.ZERO: "0",
+    Value.ONE: "1",
+    Value.D: "D",
+    Value.DBAR: "D'",
+    Value.X: "X",
+}
+
+
+def from_bit(bit: int) -> Value:
+    """Convert a binary 0/1 into a :class:`Value`."""
+    return Value.ONE if bit else Value.ZERO
+
+
+def from_pair(good: int | None, faulty: int | None) -> Value:
+    """Build a value from its (good, faulty) channel pair."""
+    if good is None or faulty is None:
+        return Value.X
+    return _PAIRS[(good, faulty)]
+
+
+_PAIRS = {
+    (0, 0): Value.ZERO,
+    (1, 1): Value.ONE,
+    (1, 0): Value.D,
+    (0, 1): Value.DBAR,
+}
+
+
+def and_values(values: list[Value]) -> Value:
+    """Five-valued AND over a list of values."""
+    return _lift(values, _and_channel)
+
+
+def or_values(values: list[Value]) -> Value:
+    """Five-valued OR over a list of values."""
+    return _lift(values, _or_channel)
+
+
+def xor_values(values: list[Value]) -> Value:
+    """Five-valued XOR over a list of values (X-dominant)."""
+    if any(value is Value.X for value in values):
+        return Value.X
+    good = 0
+    faulty = 0
+    for value in values:
+        good ^= value.good
+        faulty ^= value.faulty
+    return from_pair(good, faulty)
+
+
+def _and_channel(bits: list[int | None]) -> int | None:
+    if any(bit == 0 for bit in bits):
+        return 0
+    if any(bit is None for bit in bits):
+        return None
+    return 1
+
+
+def _or_channel(bits: list[int | None]) -> int | None:
+    if any(bit == 1 for bit in bits):
+        return 1
+    if any(bit is None for bit in bits):
+        return None
+    return 0
+
+
+def _lift(values: list["Value"], channel) -> "Value":
+    good = channel([value.good for value in values])
+    faulty = channel([value.faulty for value in values])
+    return from_pair(good, faulty)

@@ -1,0 +1,138 @@
+"""ISCAS ``.bench`` reader / writer.
+
+The ISCAS'85/'89 benchmark suites the paper evaluates on are
+conventionally distributed in the ``.bench`` format::
+
+    INPUT(G1)
+    OUTPUT(G17)
+    G10 = NAND(G1, G3)
+    G17 = DFF(G10)
+
+``DFF`` elements are removed per the paper ("sequential circuits are
+treated as combinational ones with all sequential elements removed"):
+each flip-flop output becomes a pseudo primary input and its data input
+a pseudo primary output.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+from typing import TextIO
+
+from .gatetype import GateType
+from .netlist import Network, NetworkError
+
+_GATE_TYPES = {
+    "AND": GateType.AND,
+    "OR": GateType.OR,
+    "XOR": GateType.XOR,
+    "NAND": GateType.NAND,
+    "NOR": GateType.NOR,
+    "XNOR": GateType.XNOR,
+    "NOT": GateType.INV,
+    "INV": GateType.INV,
+    "BUF": GateType.BUF,
+    "BUFF": GateType.BUF,
+}
+
+_ASSIGN = re.compile(
+    r"^\s*([\w.\[\]$]+)\s*=\s*(\w+)\s*\(([^)]*)\)\s*$"
+)
+_IO = re.compile(r"^\s*(INPUT|OUTPUT)\s*\(\s*([\w.\[\]$]+)\s*\)\s*$")
+
+
+def parse_bench(text: str, name: str = "bench") -> Network:
+    """Parse ``.bench`` *text* into a :class:`Network`."""
+    return read_bench(io.StringIO(text), name=name)
+
+
+def read_bench(handle: TextIO, name: str = "bench") -> Network:
+    """Read a ``.bench`` netlist, stripping sequential elements."""
+    network = Network(name)
+    outputs: list[str] = []
+    assignments: list[tuple[str, str, list[str]]] = []
+    for raw in handle:
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        io_match = _IO.match(line)
+        if io_match:
+            kind, net = io_match.groups()
+            if kind == "INPUT":
+                network.add_input(net)
+            else:
+                outputs.append(net)
+            continue
+        assign = _ASSIGN.match(line)
+        if not assign:
+            raise NetworkError(f"unparseable .bench line: {line!r}")
+        target, func, arg_text = assign.groups()
+        args = [arg.strip() for arg in arg_text.split(",") if arg.strip()]
+        assignments.append((target, func.upper(), args))
+    for target, func, args in assignments:
+        if func in ("DFF", "DFFSR", "LATCH"):
+            # flip-flop: output is a pseudo PI, data input a pseudo PO
+            if target not in network:
+                network.add_input(target)
+            outputs.extend(args[:1])
+            continue
+        gtype = _GATE_TYPES.get(func)
+        if gtype is None:
+            raise NetworkError(f"unknown .bench gate function {func!r}")
+        if gtype in (GateType.INV, GateType.BUF) and len(args) != 1:
+            raise NetworkError(f"{func} takes one argument: {target}")
+        network.add_gate(target, gtype, args)
+    for net in outputs:
+        if net not in network:
+            raise NetworkError(f"output {net!r} is never defined")
+        network.add_output(net)
+    return network
+
+
+_FUNC_NAMES = {
+    GateType.AND: "AND",
+    GateType.OR: "OR",
+    GateType.XOR: "XOR",
+    GateType.NAND: "NAND",
+    GateType.NOR: "NOR",
+    GateType.XNOR: "XNOR",
+    GateType.INV: "NOT",
+    GateType.BUF: "BUFF",
+}
+
+
+def write_bench(network: Network, handle: TextIO) -> None:
+    """Write the network in ``.bench`` syntax (constants are expanded)."""
+    handle.write(f"# {network.name}\n")
+    for net in network.inputs:
+        handle.write(f"INPUT({net})\n")
+    for net in network.outputs:
+        handle.write(f"OUTPUT({net})\n")
+    const_helpers: dict[str, str] = {}
+    for name in network.topo_order():
+        gate = network.gate(name)
+        if gate.gtype in (GateType.CONST0, GateType.CONST1):
+            # .bench has no constants: emit x AND NOT x / x OR NOT x
+            if not network.inputs:
+                raise NetworkError(
+                    "cannot express constants in .bench without inputs"
+                )
+            pi = network.inputs[0]
+            inv = const_helpers.get("inv")
+            if inv is None:
+                inv = f"{name}_helper_inv"
+                handle.write(f"{inv} = NOT({pi})\n")
+                const_helpers["inv"] = inv
+            func = "AND" if gate.gtype is GateType.CONST0 else "OR"
+            handle.write(f"{name} = {func}({pi}, {inv})\n")
+            continue
+        func = _FUNC_NAMES[gate.gtype]
+        handle.write(f"{name} = {func}({', '.join(gate.fanins)})\n")
+
+
+def bench_text(network: Network) -> str:
+    """Return the ``.bench`` serialization as a string."""
+    buffer = io.StringIO()
+    write_bench(network, buffer)
+    return buffer.getvalue()

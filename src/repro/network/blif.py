@@ -1,0 +1,230 @@
+"""BLIF reader / writer.
+
+SIS — the system the paper's prototype was built on — exchanges logic
+through the Berkeley Logic Interchange Format.  The reader accepts the
+combinational subset (``.model``, ``.inputs``, ``.outputs``, ``.names``
+with arbitrary two-level covers, ``.latch`` is skipped with its output
+re-declared as a pseudo primary input, matching the paper's treatment
+of "sequential circuits ... with all sequential elements removed").
+Arbitrary single-output covers are synthesized into OR-of-AND trees so
+any BLIF file becomes a gate network; the writer emits one ``.names``
+block per gate.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, TextIO
+
+from .gatetype import GateType
+from .netlist import Network, NetworkError
+
+
+def _tokens(handle: TextIO) -> Iterable[list[str]]:
+    """Yield logical BLIF lines as token lists, folding continuations."""
+    pending = ""
+    for raw in handle:
+        line = raw.split("#", 1)[0].rstrip()
+        if not line:
+            continue
+        if line.endswith("\\"):
+            pending += line[:-1] + " "
+            continue
+        full = pending + line
+        pending = ""
+        parts = full.split()
+        if parts:
+            yield parts
+    if pending.strip():
+        yield pending.split()
+
+
+class _NamesBlock:
+    def __init__(self, signals: list[str]) -> None:
+        self.inputs = signals[:-1]
+        self.output = signals[-1]
+        self.cubes: list[tuple[str, str]] = []  # (input pattern, output bit)
+
+
+def parse_blif(text: str, name: str | None = None) -> Network:
+    """Parse BLIF *text* into a :class:`Network`."""
+    return read_blif(io.StringIO(text), name=name)
+
+
+def read_blif(handle: TextIO, name: str | None = None) -> Network:
+    """Read a combinational BLIF model from a file object."""
+    model_name = name or "blif"
+    inputs: list[str] = []
+    outputs: list[str] = []
+    blocks: list[_NamesBlock] = []
+    latch_outputs: list[str] = []
+    current: _NamesBlock | None = None
+    for parts in _tokens(handle):
+        key = parts[0]
+        if key == ".model":
+            if len(parts) > 1 and name is None:
+                model_name = parts[1]
+            current = None
+        elif key == ".inputs":
+            inputs.extend(parts[1:])
+            current = None
+        elif key == ".outputs":
+            outputs.extend(parts[1:])
+            current = None
+        elif key == ".names":
+            current = _NamesBlock(parts[1:])
+            blocks.append(current)
+        elif key == ".latch":
+            # .latch input output [type clock] [init]
+            latch_outputs.append(parts[2])
+            current = None
+        elif key == ".end":
+            current = None
+        elif key.startswith("."):
+            current = None  # unsupported directive, skipped
+        elif current is not None:
+            if len(parts) == 2:
+                current.cubes.append((parts[0], parts[1]))
+            elif len(parts) == 1 and not current.inputs:
+                current.cubes.append(("", parts[0]))
+    network = Network(model_name)
+    for pi in inputs:
+        network.add_input(pi)
+    for latch_out in latch_outputs:
+        if latch_out not in network:
+            network.add_input(latch_out)
+    for block in blocks:
+        _synthesize_block(network, block)
+    for po in outputs:
+        if po not in network:
+            raise NetworkError(f"primary output {po!r} is never defined")
+        network.add_output(po)
+    return network
+
+
+def _synthesize_block(network: Network, block: _NamesBlock) -> None:
+    """Turn a two-level cover into gates driving ``block.output``."""
+    out = block.output
+    if not block.cubes:
+        network.add_gate(out, GateType.CONST0)
+        return
+    out_bits = {bit for _, bit in block.cubes}
+    if out_bits == {"0"}:
+        # off-set cover: complement of the OR of the cubes
+        product_nets = [
+            _synthesize_cube(network, block.inputs, pattern, out)
+            for pattern, _ in block.cubes
+        ]
+        _reduce(network, out, GateType.NOR, GateType.INV, product_nets)
+        return
+    cubes = [(pattern, bit) for pattern, bit in block.cubes if bit == "1"]
+    if not block.inputs:
+        value = cubes[0][1] if cubes else "0"
+        network.add_gate(
+            out, GateType.CONST1 if value == "1" else GateType.CONST0
+        )
+        return
+    product_nets = [
+        _synthesize_cube(network, block.inputs, pattern, out)
+        for pattern, _ in cubes
+    ]
+    _reduce(network, out, GateType.OR, GateType.BUF, product_nets)
+
+
+def _synthesize_cube(
+    network: Network, inputs: list[str], pattern: str, prefix: str
+) -> str:
+    """Build the AND of the literals selected by *pattern*; return its net."""
+    literals: list[str] = []
+    for net, char in zip(inputs, pattern):
+        if char == "1":
+            literals.append(net)
+        elif char == "0":
+            inv = _inverted_net(network, net)
+            literals.append(inv)
+    if not literals:
+        const = network.fresh_name(f"{prefix}_t1")
+        network.add_gate(const, GateType.CONST1)
+        return const
+    if len(literals) == 1:
+        return literals[0]
+    cube = network.fresh_name(f"{prefix}_c")
+    network.add_gate(cube, GateType.AND, literals)
+    return cube
+
+
+def _inverted_net(network: Network, net: str) -> str:
+    for pin in network.fanout(net):
+        gate = network.gate(pin.gate)
+        if gate.gtype is GateType.INV:
+            return gate.name
+    inv = network.fresh_name(f"{net}_n")
+    network.add_gate(inv, GateType.INV, [net])
+    return inv
+
+
+def _reduce(
+    network: Network,
+    out: str,
+    gtype: GateType,
+    single_type: GateType,
+    nets: list[str],
+) -> None:
+    if len(nets) == 1:
+        network.add_gate(out, single_type, nets)
+    else:
+        network.add_gate(out, gtype, nets)
+
+
+_COVER_WRITERS = {
+    GateType.AND: lambda n: [("1" * n, "1")],
+    GateType.NAND: lambda n: [("1" * n, "0")],
+    GateType.OR: lambda n: [
+        ("-" * i + "1" + "-" * (n - i - 1), "1") for i in range(n)
+    ],
+    GateType.NOR: lambda n: [("0" * n, "1")],
+    GateType.INV: lambda n: [("0", "1")],
+    GateType.BUF: lambda n: [("1", "1")],
+}
+
+
+def _xor_cover(arity: int, odd: bool) -> list[tuple[str, str]]:
+    rows = []
+    for value in range(1 << arity):
+        bits = format(value, f"0{arity}b")
+        ones = bits.count("1")
+        if (ones % 2 == 1) == odd:
+            rows.append((bits, "1"))
+    return rows
+
+
+def write_blif(network: Network, handle: TextIO) -> None:
+    """Write the network as combinational BLIF."""
+    handle.write(f".model {network.name}\n")
+    if network.inputs:
+        handle.write(".inputs " + " ".join(network.inputs) + "\n")
+    if network.outputs:
+        handle.write(".outputs " + " ".join(network.outputs) + "\n")
+    for name in network.topo_order():
+        gate = network.gate(name)
+        header = ".names " + " ".join([*gate.fanins, gate.name]) + "\n"
+        handle.write(header)
+        if gate.gtype is GateType.CONST1:
+            handle.write("1\n")
+        elif gate.gtype is GateType.CONST0:
+            pass  # empty cover = constant 0
+        elif gate.gtype in (GateType.XOR, GateType.XNOR):
+            odd = gate.gtype is GateType.XOR
+            for pattern, bit in _xor_cover(gate.arity(), odd):
+                handle.write(f"{pattern} {bit}\n")
+        else:
+            for pattern, bit in _COVER_WRITERS[gate.gtype](gate.arity()):
+                handle.write(f"{pattern} {bit}\n")
+    handle.write(".end\n")
+
+
+def blif_text(network: Network) -> str:
+    """Return the BLIF serialization of *network* as a string."""
+    buffer = io.StringIO()
+    write_blif(network, buffer)
+    return buffer.getvalue()

@@ -1,0 +1,67 @@
+"""Structural validation of Boolean networks.
+
+Every flow stage (synthesis, mapping, placement, rewiring) calls
+:func:`check_network` in its tests; a network that passes is a DAG of
+well-formed gates whose primary outputs exist.  Violations are reported
+all at once to make debugging transforms easier.
+"""
+
+from __future__ import annotations
+
+from .gatetype import CONST_TYPES, max_arity, min_arity
+from .netlist import Network, NetworkError
+
+
+def network_problems(network: Network) -> list[str]:
+    """Return a list of human-readable structural problems (empty = valid)."""
+    problems: list[str] = []
+    known = set(network.inputs) | set(network.gate_names())
+    if len(set(network.inputs)) != len(network.inputs):
+        problems.append("duplicate primary input names")
+    for gate in network.gates():
+        lo, hi = min_arity(gate.gtype), max_arity(gate.gtype)
+        if gate.arity() < lo or (hi is not None and gate.arity() > hi):
+            problems.append(
+                f"gate {gate.name!r}: {gate.gtype.name} has illegal "
+                f"arity {gate.arity()}"
+            )
+        if gate.gtype in CONST_TYPES and gate.fanins:
+            problems.append(f"constant gate {gate.name!r} has fanins")
+        for net in gate.fanins:
+            if net not in known:
+                problems.append(
+                    f"gate {gate.name!r} references unknown net {net!r}"
+                )
+        if gate.name == "":
+            problems.append("gate with empty name")
+    for net in network.outputs:
+        if net not in known:
+            problems.append(f"primary output references unknown net {net!r}")
+    if not problems:
+        try:
+            network.topo_order()
+        except NetworkError as exc:
+            problems.append(str(exc))
+    return problems
+
+
+def check_network(network: Network) -> None:
+    """Raise :class:`NetworkError` when the network is malformed."""
+    problems = network_problems(network)
+    if problems:
+        raise NetworkError(
+            f"network {network.name!r} invalid: " + "; ".join(problems)
+        )
+
+
+def dangling_gates(network: Network) -> set[str]:
+    """Gates whose output reaches no primary output (candidates for sweep)."""
+    live: set[str] = set()
+    stack = [net for net in network.outputs if not network.is_input(net)]
+    while stack:
+        net = stack.pop()
+        if net in live or network.is_input(net):
+            continue
+        live.add(net)
+        stack.extend(network.gate(net).fanins)
+    return {name for name in network.gate_names() if name not in live}

@@ -1,0 +1,196 @@
+"""Structural Verilog reader / writer.
+
+Gate-level Verilog is the lingua franca of physical-design handoffs;
+supporting it makes the rewiring engine usable on netlists coming from
+commercial flows.  The reader accepts the structural subset — one
+module, ``input``/``output``/``wire`` declarations, and primitive gate
+instantiations (``nand (y, a, b);``) or instances of cells named like
+the bundled library (``NAND2_X2 u1 (.Y(y), .A(a), .B(b));``).  The
+writer emits primitive-gate Verilog that any structural tool accepts.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+from typing import TextIO
+
+from .gatetype import GateType
+from .netlist import Network, NetworkError
+
+_PRIMITIVES = {
+    "and": GateType.AND,
+    "or": GateType.OR,
+    "nand": GateType.NAND,
+    "nor": GateType.NOR,
+    "xor": GateType.XOR,
+    "xnor": GateType.XNOR,
+    "not": GateType.INV,
+    "buf": GateType.BUF,
+}
+
+_PRIMITIVE_NAMES = {
+    GateType.AND: "and",
+    GateType.OR: "or",
+    GateType.NAND: "nand",
+    GateType.NOR: "nor",
+    GateType.XOR: "xor",
+    GateType.XNOR: "xnor",
+    GateType.INV: "not",
+    GateType.BUF: "buf",
+}
+
+_CELL_RE = re.compile(r"^([A-Za-z_][\w]*)\s*(?:#\(.*?\))?\s*"
+                      r"([A-Za-z_][\w$]*)?\s*\((.*)\)$", re.S)
+_PORT_RE = re.compile(r"\.\s*([\w]+)\s*\(\s*([\w$\[\].]+)\s*\)")
+_CELL_FUNC_RE = re.compile(r"^(NAND|NOR|XOR|XNOR|INV|BUF)(\d*)_X\d+$")
+
+
+def _statements(text: str):
+    """Strip comments, yield semicolon-terminated statements."""
+    text = re.sub(r"//.*?$", "", text, flags=re.M)
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.S)
+    for statement in text.split(";"):
+        statement = statement.strip()
+        if statement:
+            yield statement
+
+
+def parse_verilog(text: str, name: str | None = None) -> Network:
+    """Parse structural Verilog into a :class:`Network`."""
+    module_name = name or "top"
+    inputs: list[str] = []
+    outputs: list[str] = []
+    gates: list[tuple[str, GateType, list[str], str | None]] = []
+    for statement in _statements(text):
+        head = statement.split(None, 1)[0]
+        if head == "module":
+            match = re.match(r"module\s+([\w$]+)", statement)
+            if match and name is None:
+                module_name = match.group(1)
+            continue
+        if head == "endmodule":
+            continue
+        if head in ("input", "output", "wire"):
+            rest = statement[len(head):]
+            rest = re.sub(r"\[[^\]]*\]", "", rest)  # no vectors supported
+            names = [n.strip() for n in rest.split(",") if n.strip()]
+            if head == "input":
+                inputs.extend(names)
+            elif head == "output":
+                outputs.extend(names)
+            continue
+        if head in _PRIMITIVES:
+            # e.g.  nand g1 (y, a, b);   instance name optional
+            match = re.match(
+                rf"{head}\s*([\w$]*)\s*\((.*)\)$", statement, re.S
+            )
+            if not match:
+                raise NetworkError(f"unparseable gate: {statement!r}")
+            ports = [p.strip() for p in match.group(2).split(",")]
+            out, fanins = ports[0], ports[1:]
+            gates.append((out, _PRIMITIVES[head], fanins, None))
+            continue
+        match = _CELL_RE.match(statement)
+        if match:
+            cell_name, _instance, ports_text = match.groups()
+            func = _CELL_FUNC_RE.match(cell_name)
+            if func is None:
+                raise NetworkError(
+                    f"unknown cell or construct: {statement!r}"
+                )
+            gtype = GateType[func.group(1)]
+            ports = dict(_PORT_RE.findall(ports_text))
+            out = ports.pop("Y", None) or ports.pop("Z", None)
+            if out is None:
+                raise NetworkError(
+                    f"instance without Y/Z output: {statement!r}"
+                )
+            fanins = [ports[key] for key in sorted(ports)]
+            gates.append((out, gtype, fanins, cell_name))
+            continue
+        raise NetworkError(f"unsupported construct: {statement!r}")
+
+    network = Network(module_name)
+    for pi in inputs:
+        network.add_input(pi)
+    const_nets: dict[str, str] = {}
+
+    def operand(token: str) -> str:
+        if token in ("1'b0", "1'b1"):
+            if token not in const_nets:
+                net = network.fresh_name(
+                    "const0" if token.endswith("0") else "const1"
+                )
+                network.add_gate(
+                    net,
+                    GateType.CONST0 if token.endswith("0")
+                    else GateType.CONST1,
+                    [],
+                )
+                const_nets[token] = net
+            return const_nets[token]
+        return token
+
+    for out, gtype, fanins, cell in gates:
+        resolved = [operand(f) for f in fanins]
+        network.add_gate(out, gtype, resolved, cell=cell)
+    for po in outputs:
+        if po not in network:
+            raise NetworkError(f"output {po!r} is never driven")
+        network.add_output(po)
+    return network
+
+
+def read_verilog(handle: TextIO, name: str | None = None) -> Network:
+    """Read structural Verilog from a file object."""
+    return parse_verilog(handle.read(), name=name)
+
+
+def write_verilog(network: Network, handle: TextIO) -> None:
+    """Write the network as primitive-gate structural Verilog."""
+    ports = list(network.inputs) + [
+        f"po{index}" for index in range(len(network.outputs))
+    ]
+    handle.write(f"module {_ident(network.name)} (\n    ")
+    handle.write(", ".join(_ident(p) for p in ports))
+    handle.write("\n);\n")
+    for pi in network.inputs:
+        handle.write(f"  input {_ident(pi)};\n")
+    for index in range(len(network.outputs)):
+        handle.write(f"  output po{index};\n")
+    for name in network.gate_names():
+        handle.write(f"  wire {_ident(name)};\n")
+    handle.write("\n")
+    counter = 0
+    for name in network.topo_order():
+        gate = network.gate(name)
+        if gate.gtype is GateType.CONST0:
+            handle.write(f"  buf g{counter} ({_ident(name)}, 1'b0);\n")
+        elif gate.gtype is GateType.CONST1:
+            handle.write(f"  buf g{counter} ({_ident(name)}, 1'b1);\n")
+        else:
+            primitive = _PRIMITIVE_NAMES[gate.gtype]
+            operands = ", ".join(_ident(f) for f in gate.fanins)
+            handle.write(
+                f"  {primitive} g{counter} ({_ident(name)}, {operands});\n"
+            )
+        counter += 1
+    for index, po in enumerate(network.outputs):
+        handle.write(f"  buf g{counter} (po{index}, {_ident(po)});\n")
+        counter += 1
+    handle.write("endmodule\n")
+
+
+def verilog_text(network: Network) -> str:
+    """Serialize to a string."""
+    buffer = io.StringIO()
+    write_verilog(network, buffer)
+    return buffer.getvalue()
+
+
+def _ident(name: str) -> str:
+    """Escape identifiers Verilog would reject."""
+    if re.fullmatch(r"[A-Za-z_][\w$]*", name):
+        return name
+    return f"\\{name} "

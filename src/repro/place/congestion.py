@@ -1,0 +1,94 @@
+"""Probabilistic routing-congestion estimation.
+
+Section 5 claims rewiring "can also relieve congestion": exchanging
+symmetric signals shortens wires, which lowers routing demand over the
+hot spots of the die.  With no router in the flow, congestion is
+estimated the standard probabilistic way: every net spreads one unit of
+horizontal and vertical routing demand uniformly over its bounding
+box, accumulated on a grid of bins.
+
+``congestion_map`` returns the bin matrix; ``congestion_stats``
+summarizes it (peak and average demand, overflow count against a
+uniform capacity) so optimizers and benches can compare before/after.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..network.netlist import Network
+from .placement import Placement, net_terminals
+
+
+@dataclass
+class CongestionStats:
+    """Summary of a congestion map."""
+
+    peak: float
+    average: float
+    overflow_bins: int
+    total_bins: int
+
+    @property
+    def overflow_fraction(self) -> float:
+        if self.total_bins == 0:
+            return 0.0
+        return self.overflow_bins / self.total_bins
+
+
+def congestion_map(
+    network: Network,
+    placement: Placement,
+    bins: int = 16,
+) -> list[list[float]]:
+    """Accumulate probabilistic routing demand on a bins x bins grid.
+
+    Each net adds ``(width + height) / area``-normalized demand to the
+    bins its bounding box covers — the uniform-probability model used
+    by early global-routing estimators.
+    """
+    grid = [[0.0] * bins for _ in range(bins)]
+    width = max(placement.die_width, 1e-9)
+    height = max(placement.die_height, 1e-9)
+    for net in network.nets():
+        if not network.fanout_degree(net):
+            continue
+        terminals = net_terminals(network, placement, net)
+        xs = [t[0] for t in terminals]
+        ys = [t[1] for t in terminals]
+        lo_x = max(0, min(int(min(xs) / width * bins), bins - 1))
+        hi_x = max(0, min(int(max(xs) / width * bins), bins - 1))
+        lo_y = max(0, min(int(min(ys) / height * bins), bins - 1))
+        hi_y = max(0, min(int(max(ys) / height * bins), bins - 1))
+        span = (hi_x - lo_x + 1) * (hi_y - lo_y + 1)
+        demand = ((hi_x - lo_x + 1) + (hi_y - lo_y + 1)) / span
+        for gx in range(lo_x, hi_x + 1):
+            for gy in range(lo_y, hi_y + 1):
+                grid[gy][gx] += demand
+    return grid
+
+
+def congestion_stats(
+    network: Network,
+    placement: Placement,
+    bins: int = 16,
+    capacity: float | None = None,
+) -> CongestionStats:
+    """Peak / average / overflow summary of the congestion map.
+
+    *capacity* defaults to twice the average demand — a relative
+    threshold, since the abstract model has no track counts.
+    """
+    grid = congestion_map(network, placement, bins)
+    flat = [value for row in grid for value in row]
+    total = len(flat)
+    average = sum(flat) / total if total else 0.0
+    peak = max(flat, default=0.0)
+    threshold = capacity if capacity is not None else 2.0 * average
+    overflow = sum(1 for value in flat if value > threshold)
+    return CongestionStats(
+        peak=peak,
+        average=average,
+        overflow_bins=overflow,
+        total_bins=total,
+    )

@@ -1,0 +1,34 @@
+"""RAPIDS post-placement optimizer (the paper's prototype tool)."""
+
+from .engine import MODES, RapidsResult, run_rapids
+from .moves import SwapMove, bind_new_inverters, swap_sites
+from .fanout import FanoutResult, buffer_net, heavy_nets, optimize_fanout
+from .wirelength import WirelengthResult, reduce_wirelength, swap_hpwl_delta
+from .report import (
+    Table1Row,
+    area_of,
+    averages,
+    build_row,
+    fanout_profile,
+)
+
+__all__ = [
+    "MODES",
+    "RapidsResult",
+    "SwapMove",
+    "Table1Row",
+    "area_of",
+    "averages",
+    "bind_new_inverters",
+    "build_row",
+    "fanout_profile",
+    "run_rapids",
+    "swap_sites",
+    "swap_hpwl_delta",
+    "reduce_wirelength",
+    "WirelengthResult",
+    "FanoutResult",
+    "buffer_net",
+    "heavy_nets",
+    "optimize_fanout",
+]

@@ -1,0 +1,151 @@
+"""RAPIDS: Rewiring After Placement usIng easily Detectable Symmetries.
+
+The paper's prototype tool, reimplemented.  Three optimization modes
+mirror Section 6:
+
+* ``gsg``    — supergate-based rewiring only: each non-trivial
+  supergate's legal pin swaps are its "library implementations";
+* ``gs``     — Coudert gate sizing only, every mapped gate a site;
+* ``gsg_gs`` — the combination: rewiring for gates covered by
+  non-trivial supergates, sizing for gates covered only by trivial
+  ones (minimum perturbation of the placement).
+
+All modes run the same two-phase min-slack / relaxation loop from
+``repro.sizing``; the placement is never modified (new inverters adopt
+their sink's location).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..library.cells import Library
+from ..network.netlist import Network
+from ..place.placement import Placement, perturbation
+from ..sizing.coudert import OptimizeResult, Site, optimize
+from ..sizing.moves import resize_sites
+from ..symmetry.redundancy import find_easy_redundancies, redundancy_counts
+from ..symmetry.supergate import extract_supergates
+from ..timing.sta import TimingEngine
+from ..verify.equiv import networks_equivalent
+from .moves import swap_sites
+
+MODES = ("gsg", "gs", "gsg_gs")
+
+
+@dataclass
+class RapidsResult:
+    """Everything one Table 1 row needs, for one mode."""
+
+    mode: str
+    optimize: OptimizeResult
+    coverage_percent: float
+    max_supergate_inputs: int
+    redundancies: int
+    perturbation: dict[str, float] = field(default_factory=dict)
+    equivalent: bool | None = None
+
+    @property
+    def improvement_percent(self) -> float:
+        return self.optimize.improvement_percent
+
+    @property
+    def area_delta_percent(self) -> float:
+        return self.optimize.area_delta_percent
+
+    @property
+    def runtime_seconds(self) -> float:
+        return self.optimize.runtime_seconds
+
+
+def _gsg_factory(library: Library, include_inverting: bool = True):
+    def factory(network: Network, engine: TimingEngine) -> list[Site]:
+        sgn = extract_supergates(network)
+        return swap_sites(
+            network, engine, sgn, include_inverting=include_inverting
+        )
+
+    return factory
+
+
+def _gs_factory(library: Library):
+    def factory(network: Network, engine: TimingEngine) -> list[Site]:
+        return resize_sites(network, library)
+
+    return factory
+
+
+def _gsg_gs_factory(library: Library):
+    def factory(network: Network, engine: TimingEngine) -> list[Site]:
+        sgn = extract_supergates(network)
+        sites = swap_sites(network, engine, sgn)
+        nontrivial_gates = {
+            name
+            for sg in sgn.nontrivial()
+            for name in sg.covered
+        }
+        sites.extend(
+            resize_sites(
+                network,
+                library,
+                gate_filter=lambda name: name not in nontrivial_gates,
+            )
+        )
+        return sites
+
+    return factory
+
+
+def run_rapids(
+    network: Network,
+    placement: Placement,
+    library: Library,
+    mode: str = "gsg_gs",
+    max_rounds: int = 12,
+    batch_limit: int = 64,
+    check_equivalence: bool = False,
+    collect_log: bool = False,
+) -> RapidsResult:
+    """Optimize a placed mapped network in place; returns the report.
+
+    With ``check_equivalence`` the optimized network is verified
+    functionally identical to the input (always on in the test suite;
+    optional in benchmarks for speed).
+    """
+    if mode not in MODES:
+        raise ValueError(f"unknown mode {mode!r}; pick one of {MODES}")
+    reference = network.copy() if check_equivalence else None
+    placement_before = placement.copy()
+    sgn = extract_supergates(network)
+    coverage = sgn.coverage() * 100.0
+    max_inputs = sgn.max_supergate_inputs()
+    redundancies = redundancy_counts(
+        find_easy_redundancies(network, sgn)
+    )["events"]
+    if mode == "gsg":
+        factory = _gsg_factory(library)
+    elif mode == "gs":
+        factory = _gs_factory(library)
+    else:
+        factory = _gsg_gs_factory(library)
+    opt = optimize(
+        network,
+        placement,
+        library,
+        site_factory=factory,
+        mode=mode,
+        max_rounds=max_rounds,
+        batch_limit=batch_limit,
+        collect_log=collect_log,
+    )
+    result = RapidsResult(
+        mode=mode,
+        optimize=opt,
+        coverage_percent=coverage,
+        max_supergate_inputs=max_inputs,
+        redundancies=redundancies,
+        perturbation=perturbation(placement_before, placement),
+    )
+    if reference is not None:
+        result.equivalent = networks_equivalent(reference, network)
+    return result

@@ -1,0 +1,20 @@
+"""Coudert-style gate sizing: generic two-phase optimizer + resize moves."""
+
+from .coudert import (
+    Move,
+    OptimizeResult,
+    Site,
+    network_delay,
+    optimize,
+)
+from .moves import ResizeMove, resize_sites
+
+__all__ = [
+    "Move",
+    "OptimizeResult",
+    "ResizeMove",
+    "Site",
+    "network_delay",
+    "optimize",
+    "resize_sites",
+]

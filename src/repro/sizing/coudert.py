@@ -1,0 +1,325 @@
+"""Coudert-style two-phase slack optimization (paper reference [2]).
+
+The paper's timing optimizer is "based on the gate sizing heuristics by
+Coudert: maximize the minimum slack through iterative neighborhood
+search and relaxation".  This module implements that loop generically
+over *sites* — a site is any point of the design with a set of
+alternative implementations (a gate with its library sizes, or a
+supergate with its set of legal pin swaps):
+
+* **phase 1 (min-slack search)**: for every site, pick the alternative
+  with the best projected *minimum-slack* gain in its neighborhood;
+  sort all sites' best moves and greedily commit a non-overlapping
+  batch, then re-run STA.  Repeat until no move helps.
+* **phase 2 (relaxation)**: commit moves with the best projected
+  *slack-sum* gain, which speeds up the network globally and lets
+  phase 1 escape local minima.  Area-saving moves with non-negative
+  gain are also taken here (this is where Table 1's area reductions
+  come from).
+
+The loop keeps a snapshot of the best (network, placement) seen and
+restores it at the end, so results are monotone in the reported metric.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from ..library.cells import Library
+from ..network.netlist import Network
+from ..place.placement import Placement
+from ..timing.sta import Gains, TimingEngine
+
+
+class Move(Protocol):
+    """One alternative implementation of a site."""
+
+    def gains(self, engine: TimingEngine) -> Gains:
+        """Projected local slack gains (not mutating)."""
+
+    def footprint(self, network: Network) -> set[str]:
+        """Nets whose timing this move touches (for batch independence)."""
+
+    def apply(self, network: Network, library: Library) -> None:
+        """Commit the move."""
+
+    def area_delta(self, library: Library) -> float:
+        """Cell-area change of the move (um^2)."""
+
+    def describe(self) -> str:
+        """Short human-readable label."""
+
+
+@dataclass
+class Site:
+    """A decision point with alternative implementations."""
+
+    key: str
+    moves: list[Move]
+
+
+SiteFactory = Callable[[Network, TimingEngine], list[Site]]
+
+
+@dataclass
+class OptimizeResult:
+    """Outcome of an optimization run."""
+
+    mode: str
+    initial_delay: float
+    final_delay: float
+    initial_area: float
+    final_area: float
+    rounds: int = 0
+    moves_applied: int = 0
+    runtime_seconds: float = 0.0
+    move_log: list[str] = field(default_factory=list)
+
+    @property
+    def improvement_percent(self) -> float:
+        """Delay improvement in percent (Table 1 columns 4-6)."""
+        if self.initial_delay <= 0:
+            return 0.0
+        return 100.0 * (
+            self.initial_delay - self.final_delay
+        ) / self.initial_delay
+
+    @property
+    def area_delta_percent(self) -> float:
+        """Area change in percent (negative = smaller, columns 10-11)."""
+        if self.initial_area <= 0:
+            return 0.0
+        return 100.0 * (
+            self.final_area - self.initial_area
+        ) / self.initial_area
+
+
+def network_delay(
+    network: Network, placement: Placement, library: Library
+) -> float:
+    """Critical-path delay of a placed network (fresh STA)."""
+    engine = TimingEngine(network, placement, library)
+    engine.analyze()
+    return engine.max_delay
+
+
+def optimize(
+    network: Network,
+    placement: Placement,
+    library: Library,
+    site_factory: SiteFactory,
+    mode: str = "custom",
+    max_rounds: int = 12,
+    batch_limit: int = 64,
+    epsilon: float = 1e-9,
+    collect_log: bool = False,
+) -> OptimizeResult:
+    """Run the two-phase loop; mutates *network* (and placement) in place.
+
+    *site_factory* is re-invoked after every committed batch because
+    moves can restructure the network (swaps insert inverters).
+    """
+    from ..synth.mapper import network_area
+
+    start = time.perf_counter()
+    engine = TimingEngine(network, placement, library)
+    engine.analyze()
+    initial_delay = engine.max_delay
+    initial_area = network_area(network, library)
+    best_delay = initial_delay
+    best_snapshot = (network.copy(), placement.copy())
+    result = OptimizeResult(
+        mode=mode,
+        initial_delay=initial_delay,
+        final_delay=initial_delay,
+        initial_area=initial_area,
+        final_area=initial_area,
+    )
+    stagnant = 0
+    for round_index in range(max_rounds):
+        result.rounds = round_index + 1
+        applied_min = _phase(
+            network, placement, library, engine, site_factory,
+            metric="min", batch_limit=batch_limit, epsilon=epsilon,
+            result=result, collect_log=collect_log,
+        )
+        engine = TimingEngine(network, placement, library)
+        engine.analyze()
+        if engine.max_delay < best_delay - epsilon:
+            best_delay = engine.max_delay
+            best_snapshot = (network.copy(), placement.copy())
+        applied_sum = _phase(
+            network, placement, library, engine, site_factory,
+            metric="sum", batch_limit=batch_limit, epsilon=epsilon,
+            result=result, collect_log=collect_log,
+        )
+        engine = TimingEngine(network, placement, library)
+        engine.analyze()
+        if engine.max_delay < best_delay - epsilon:
+            best_delay = engine.max_delay
+            best_snapshot = (network.copy(), placement.copy())
+            stagnant = 0
+        else:
+            stagnant += 1
+        if not applied_min and not applied_sum:
+            break
+        if stagnant >= 2:
+            break
+    _restore(network, placement, best_snapshot)
+    _area_recovery(
+        network, placement, library, site_factory,
+        best_delay, epsilon, result,
+    )
+    from ..network.transform import sweep
+
+    sweep(network)
+    result.final_delay = network_delay(network, placement, library)
+    result.final_area = network_area(network, library)
+    result.runtime_seconds = time.perf_counter() - start
+    return result
+
+
+def _area_recovery(
+    network: Network,
+    placement: Placement,
+    library: Library,
+    site_factory: SiteFactory,
+    best_delay: float,
+    epsilon: float,
+    result: OptimizeResult,
+    max_rounds: int = 6,
+) -> None:
+    """Downsize/simplify wherever it is free (Coudert's area recovery).
+
+    Takes the largest-area-saving move per site whose projected
+    min-slack cost is ~zero, commits batches, and rolls a batch back if
+    the *global* critical path regresses.  This pass is why GS and
+    gsg+GS end up with the small area reductions Table 1 reports.
+    """
+    slack_floor = -1e-9
+    for _ in range(max_rounds):
+        engine = TimingEngine(network, placement, library)
+        engine.analyze()
+        sites = site_factory(network, engine)
+        candidates: list[tuple[float, int, Move]] = []
+        for order, site in enumerate(sites):
+            best_move: Move | None = None
+            best_area = -epsilon
+            for move in site.moves:
+                area = move.area_delta(library)
+                if area >= best_area:
+                    continue
+                gains = move.gains(engine)
+                # spend positive slack freely, but never project a
+                # neighborhood below the floor (negative slack = the
+                # global critical path would stretch)
+                if gains.projected_min < slack_floor:
+                    continue
+                best_move = move
+                best_area = area
+            if best_move is not None:
+                candidates.append((best_area, order, best_move))
+        if not candidates:
+            return
+        candidates.sort(key=lambda item: (item[0], item[1]))
+        snapshot = (network.copy(), placement.copy())
+        touched: set[str] = set()
+        applied = 0
+        for _area, _order, move in candidates:
+            footprint = move.footprint(network)
+            if footprint & touched:
+                continue
+            move.apply(network, library)
+            touched |= footprint
+            applied += 1
+        if not applied:
+            return
+        new_delay = network_delay(network, placement, library)
+        if new_delay > best_delay + 1e-6:
+            _restore(network, placement, snapshot)
+            return
+        result.moves_applied += applied
+
+
+def _phase(
+    network: Network,
+    placement: Placement,
+    library: Library,
+    engine: TimingEngine,
+    site_factory: SiteFactory,
+    metric: str,
+    batch_limit: int,
+    epsilon: float,
+    result: OptimizeResult,
+    collect_log: bool,
+) -> int:
+    """One greedy batch of the given metric; returns moves applied."""
+    if not engine.is_fresh():
+        engine.analyze()
+    sites = site_factory(network, engine)
+    candidates: list[tuple[float, float, int, Move]] = []
+    for order, site in enumerate(sites):
+        best_move: Move | None = None
+        best_score = epsilon
+        best_area = 0.0
+        for move in site.moves:
+            gains = move.gains(engine)
+            score = gains.min_gain if metric == "min" else gains.sum_gain
+            area = move.area_delta(library)
+            if area > epsilon and gains.min_gain < 0.005:
+                # area-increasing moves (new inverters, upsizing) must
+                # buy a real timing win, not noise-level churn
+                continue
+            if metric == "sum" and gains.min_gain < -epsilon:
+                # relaxation must not wreck the local worst slack
+                if not (score > epsilon and gains.min_gain > -0.01):
+                    continue
+            if score > best_score or (
+                abs(score - best_score) <= epsilon
+                and area < best_area
+                and best_move is not None
+            ):
+                best_move = move
+                best_score = score
+                best_area = area
+        if best_move is not None:
+            candidates.append((best_score, best_area, order, best_move))
+    candidates.sort(key=lambda item: (-item[0], item[1], item[2]))
+    touched: set[str] = set()
+    applied = 0
+    for score, _area, _order, move in candidates:
+        if applied >= batch_limit:
+            break
+        footprint = move.footprint(network)
+        if footprint & touched:
+            continue
+        move.apply(network, library)
+        touched |= footprint
+        applied += 1
+        result.moves_applied += 1
+        if collect_log:
+            result.move_log.append(
+                f"{metric}:{move.describe()} (score {score:+.4f})"
+            )
+    return applied
+
+
+def _restore(
+    network: Network,
+    placement: Placement,
+    snapshot: tuple[Network, Placement],
+) -> None:
+    """Copy the snapshot's contents back into the live objects."""
+    best_network, best_placement = snapshot
+    network.inputs = list(best_network.inputs)
+    network._input_set = set(best_network._input_set)
+    network.outputs = list(best_network.outputs)
+    network._gates = {
+        name: gate for name, gate in best_network.copy()._gates.items()
+    }
+    network._touch()
+    placement.locations = dict(best_placement.locations)
+    placement.input_pads = dict(best_placement.input_pads)
+    placement.output_pads = dict(best_placement.output_pads)

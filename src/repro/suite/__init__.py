@@ -1,0 +1,37 @@
+"""Benchmark suite: circuit generators, registry, experimental flow."""
+
+from . import circuits
+from .registry import (
+    BenchmarkSpec,
+    DEFAULT_SCALE,
+    PAPER_AVERAGES,
+    PaperRow,
+    REGISTRY,
+    benchmark_names,
+    build_benchmark,
+    configured_scale,
+)
+from .flow import (
+    FlowConfig,
+    FlowOutcome,
+    prepare_benchmark,
+    run_benchmark,
+    run_suite,
+)
+
+__all__ = [
+    "BenchmarkSpec",
+    "DEFAULT_SCALE",
+    "FlowConfig",
+    "FlowOutcome",
+    "PAPER_AVERAGES",
+    "PaperRow",
+    "REGISTRY",
+    "benchmark_names",
+    "build_benchmark",
+    "circuits",
+    "configured_scale",
+    "prepare_benchmark",
+    "run_benchmark",
+    "run_suite",
+]

@@ -1,0 +1,77 @@
+"""The paper's core contribution: symmetry detection via supergates."""
+
+from .reachability import (
+    and_or_implied_value,
+    and_or_reachable,
+    reachability_class,
+    xor_reachable,
+)
+from .supergate import (
+    SgClass,
+    SgLeaf,
+    Supergate,
+    SupergateNetwork,
+    extract_supergates,
+    grow_supergate,
+)
+from .swap import (
+    PinSwap,
+    apply_swap,
+    count_swappable_pairs,
+    enumerate_swaps,
+    is_swappable,
+    swap_kinds,
+    swapped_copy,
+)
+from .cross import (
+    CrossSwap,
+    apply_cross_swap,
+    demorgan_box,
+    find_cross_swaps,
+)
+from .redundancy import (
+    Redundancy,
+    find_easy_redundancies,
+    redundancy_counts,
+    remove_redundancy,
+    unique_stems,
+)
+from .verify import (
+    claimed_swaps_hold,
+    cut_pin_function,
+    pin_pair_symmetry,
+    swap_preserves_outputs,
+)
+
+__all__ = [
+    "CrossSwap",
+    "PinSwap",
+    "Redundancy",
+    "SgClass",
+    "SgLeaf",
+    "Supergate",
+    "SupergateNetwork",
+    "and_or_implied_value",
+    "and_or_reachable",
+    "apply_cross_swap",
+    "apply_swap",
+    "claimed_swaps_hold",
+    "count_swappable_pairs",
+    "cut_pin_function",
+    "demorgan_box",
+    "enumerate_swaps",
+    "extract_supergates",
+    "find_cross_swaps",
+    "find_easy_redundancies",
+    "grow_supergate",
+    "is_swappable",
+    "pin_pair_symmetry",
+    "reachability_class",
+    "redundancy_counts",
+    "remove_redundancy",
+    "swap_kinds",
+    "swap_preserves_outputs",
+    "swapped_copy",
+    "unique_stems",
+    "xor_reachable",
+]

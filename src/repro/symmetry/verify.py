@@ -1,0 +1,106 @@
+"""Ground-truth validation of symmetry claims.
+
+The detector of this package never looks at functions — it reasons
+purely structurally (reachability).  These helpers re-derive the same
+facts *functionally*, so tests can assert Theorem 1 / Lemmas 6-8 on
+arbitrary networks: a claimed symmetric pin pair must be NES/ES of the
+root's function when the two pins are cut and driven by fresh
+variables, and an applied swap must leave every primary output's
+function untouched.
+"""
+
+from __future__ import annotations
+
+from ..network.netlist import Network, Pin
+from ..logic.simulate import (
+    extract_cone,
+    random_simulate_outputs,
+    truth_tables,
+)
+from ..logic.truthtable import is_es, is_nes
+from .supergate import Supergate
+
+
+def cut_pin_function(
+    network: Network, root: str, pins: list[Pin]
+) -> tuple[int, int, list[str]]:
+    """Truth table of *root* with *pins* cut and fed by fresh variables.
+
+    Returns ``(table, num_vars, support)``; the fresh variables occupy
+    the *last* positions of the support (in the order of *pins*), so
+    callers can index them directly.
+    """
+    trial = network.copy()
+    fresh: list[str] = []
+    for number, pin in enumerate(pins):
+        var = trial.fresh_name(f"__cut{number}")
+        trial.add_input(var)
+        trial.replace_fanin(pin, var)
+        fresh.append(var)
+    cone = extract_cone(trial, [root])
+    support = [pi for pi in cone.inputs if pi not in fresh] + fresh
+    if len(support) > 20:
+        raise ValueError(
+            f"cut cone of {root} has {len(support)} inputs; too wide for "
+            "exhaustive ground truth"
+        )
+    tables = truth_tables(cone, support=support)
+    return tables[root], len(support), support
+
+
+def pin_pair_symmetry(
+    network: Network, root: str, pin_a: Pin, pin_b: Pin
+) -> set[str]:
+    """Functional symmetry kinds of two pins w.r.t. the *root* net.
+
+    Returns a subset of ``{"nes", "es"}`` — the ground truth that
+    structural swappability (Lemmas 7/8) must be a subset of.
+    """
+    table, num_vars, _ = cut_pin_function(network, root, [pin_a, pin_b])
+    var_a, var_b = num_vars - 2, num_vars - 1
+    kinds: set[str] = set()
+    if is_nes(table, num_vars, var_a, var_b):
+        kinds.add("nes")
+    if is_es(table, num_vars, var_a, var_b):
+        kinds.add("es")
+    return kinds
+
+
+def swap_preserves_outputs(
+    before: Network, after: Network, exhaustive_limit: int = 14
+) -> bool:
+    """Check that two networks compute identical primary outputs.
+
+    Uses exhaustive simulation when the input count allows, random
+    64-bit patterns plus a BDD check otherwise.
+    """
+    if before.inputs != after.inputs or len(before.outputs) != len(
+        after.outputs
+    ):
+        return False
+    if len(before.inputs) <= exhaustive_limit:
+        tables_before = truth_tables(before)
+        tables_after = truth_tables(after, support=list(before.inputs))
+        return all(
+            tables_before[net_b] == tables_after[net_a]
+            for net_b, net_a in zip(before.outputs, after.outputs)
+        )
+    for seed in range(4):
+        if random_simulate_outputs(before, seed=seed) != (
+            random_simulate_outputs(after, seed=seed)
+        ):
+            return False
+    from ..verify.equiv import networks_equivalent
+
+    return networks_equivalent(before, after)
+
+
+def claimed_swaps_hold(network: Network, sg: Supergate) -> bool:
+    """Exhaustively validate every enumerated swap of one supergate."""
+    from .swap import enumerate_swaps, swapped_copy
+
+    for swap in enumerate_swaps(sg, leaves_only=False):
+        trial = swapped_copy(network, swap)
+        if not swap_preserves_outputs(network, trial):
+            return False
+    return True

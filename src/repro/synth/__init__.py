@@ -1,0 +1,23 @@
+"""Synthesis substrate: cleanup, decomposition, technology mapping."""
+
+from .strash import script_rugged, simplify_trivial, strash
+from .mapper import (
+    bind_cells,
+    decompose,
+    is_mapped,
+    map_network,
+    mapping_stats,
+    network_area,
+)
+
+__all__ = [
+    "bind_cells",
+    "decompose",
+    "is_mapped",
+    "map_network",
+    "mapping_stats",
+    "network_area",
+    "script_rugged",
+    "simplify_trivial",
+    "strash",
+]

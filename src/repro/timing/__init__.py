@@ -1,0 +1,21 @@
+"""Timing substrate: star RC net model, Elmore delay, rise/fall STA."""
+
+from .netmodel import (
+    PO_PAD_CAP,
+    StarNet,
+    StarSink,
+    build_star,
+    pin_capacitance,
+)
+from .sta import Gains, PathPoint, TimingEngine
+
+__all__ = [
+    "Gains",
+    "PO_PAD_CAP",
+    "PathPoint",
+    "StarNet",
+    "StarSink",
+    "TimingEngine",
+    "build_star",
+    "pin_capacitance",
+]

@@ -1,0 +1,526 @@
+"""Static timing analysis over the placed, mapped network.
+
+Arrival times are computed per net with separate rise and fall values;
+gate delays use the library's load-dependent pin-to-pin model, wire
+delays come from the star/Elmore net model.  Negative-unate cells
+(INV/NAND/NOR/XNOR) couple output rise to input fall and vice versa;
+XOR-class cells are treated as non-unate.
+
+Besides the full forward/backward analysis, :class:`TimingEngine`
+offers *local what-if evaluation* for the optimizer: the projected
+slack effect of a pin swap or a gate resize computed from cached state
+in O(neighborhood), without mutating the network.  This mirrors
+Coudert's neighborhood formulation that the paper builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import NamedTuple
+
+from ..library.cells import Cell, Library
+from ..network.gatetype import CONST_TYPES, GateType, XOR_TYPES, is_inverted
+from ..network.netlist import Network, Pin
+from ..place.placement import Placement
+from ..symmetry.swap import PinSwap
+from .netmodel import PO_PAD_CAP, StarNet, build_star, pin_capacitance
+
+_NEGATIVE_UNATE = frozenset(
+    {GateType.INV, GateType.NAND, GateType.NOR}
+)
+
+
+@dataclass
+class PathPoint:
+    """One step of a reported critical path."""
+
+    net: str
+    arrival: float
+    through: str  # "gate" or "wire" or "pi"
+
+
+class Gains(NamedTuple):
+    """Projected local effect of a candidate move.
+
+    ``min_gain`` is the improvement of the neighborhood's *minimum*
+    slack (phase 1 of the Coudert loop); ``sum_gain`` the improvement of
+    the neighborhood's slack *sum* (the relaxation phase);
+    ``projected_min`` is the absolute minimum slack the neighborhood
+    would have after the move (what area recovery spends).
+    """
+
+    min_gain: float
+    sum_gain: float
+    projected_min: float = 0.0
+
+
+class TimingEngine:
+    """Placed-network STA with incremental what-if evaluation."""
+
+    def __init__(
+        self,
+        network: Network,
+        placement: Placement,
+        library: Library,
+        period: float | None = None,
+        po_pad_cap: float = PO_PAD_CAP,
+    ) -> None:
+        self.network = network
+        self.placement = placement
+        self.library = library
+        self.period = period
+        self.po_pad_cap = po_pad_cap
+        self.arrival: dict[str, tuple[float, float]] = {}
+        self.required: dict[str, float] = {}
+        self.slack: dict[str, float] = {}
+        self.stars: dict[str, StarNet] = {}
+        self.max_delay = 0.0
+        self._levels: dict[str, int] = {}
+        self._analyzed_version = -1
+
+    # ------------------------------------------------------------------
+    # full analysis
+    # ------------------------------------------------------------------
+    def analyze(self) -> None:
+        """Run full STA (arrival, required, slack for every net)."""
+        network = self.network
+        self.placement.ensure_covered(network)
+        self.stars = {}
+        self.arrival = {}
+        for pi in network.inputs:
+            self.arrival[pi] = (0.0, 0.0)
+            self._ensure_star(pi)
+        order = network.topo_order()
+        self._levels = {net: 0 for net in network.inputs}
+        for name in order:
+            self._ensure_star(name)
+            self.arrival[name] = self._gate_arrival(name)
+            gate = network.gate(name)
+            self._levels[name] = 1 + max(
+                (self._levels[f] for f in gate.fanins), default=0
+            )
+        self.max_delay = 0.0
+        for output in network.outputs:
+            rise, fall = self.arrival[output]
+            po_delay = self._po_wire_delay(output)
+            self.max_delay = max(self.max_delay, rise + po_delay,
+                                 fall + po_delay)
+        target = self.period if self.period is not None else self.max_delay
+        self._backward_required(order, target)
+        self._analyzed_version = network.version
+
+    def is_fresh(self) -> bool:
+        """True when the cached analysis matches the network version."""
+        return self._analyzed_version == self.network.version
+
+    def _ensure_star(self, net: str) -> StarNet:
+        star = self.stars.get(net)
+        if star is None:
+            star = build_star(
+                self.network, self.placement, self.library, net,
+                po_pad_cap=self.po_pad_cap,
+            )
+            self.stars[net] = star
+        return star
+
+    def _cell_of(self, name: str) -> Cell | None:
+        gate = self.network.gate(name)
+        if gate.cell is None:
+            return None
+        return self.library.cell(gate.cell)
+
+    def _gate_arrival(self, name: str) -> tuple[float, float]:
+        """Arrival (rise, fall) at a gate's output net."""
+        network = self.network
+        gate = network.gate(name)
+        if gate.gtype in CONST_TYPES:
+            return (0.0, 0.0)
+        cell = self._cell_of(name)
+        load = self._ensure_star(name).total_cap
+        if cell is None:
+            d_rise = d_fall = 0.0
+        else:
+            d_rise = cell.delay(load, "rise")
+            d_fall = cell.delay(load, "fall")
+        worst_rise = 0.0
+        worst_fall = 0.0
+        for index, fanin in enumerate(gate.fanins):
+            pin = Pin(name, index)
+            wire = self.stars[fanin].sink_delay(pin)
+            in_rise, in_fall = self.arrival[fanin]
+            pin_rise = in_rise + wire
+            pin_fall = in_fall + wire
+            out_rise, out_fall = _propagate(
+                gate.gtype, pin_rise, pin_fall
+            )
+            worst_rise = max(worst_rise, out_rise)
+            worst_fall = max(worst_fall, out_fall)
+        return (worst_rise + d_rise, worst_fall + d_fall)
+
+    def _po_wire_delay(self, output: str) -> float:
+        star = self.stars.get(output)
+        if star is None:
+            return 0.0
+        for sink in star.sinks:
+            if sink.pin is None:
+                return sink.wire_delay
+        return 0.0
+
+    def _backward_required(self, order: list[str], target: float) -> None:
+        """Per-transition required times under the timing target.
+
+        Unateness couples transitions the same way the forward pass
+        does, so on the critical path required meets arrival exactly
+        (zero slack at the default period).
+        """
+        network = self.network
+        INF = float("inf")
+        req: dict[str, tuple[float, float]] = {
+            net: (INF, INF) for net in network.nets()
+        }
+        for output in network.outputs:
+            po_delay = self._po_wire_delay(output)
+            old_rise, old_fall = req[output]
+            req[output] = (
+                min(old_rise, target - po_delay),
+                min(old_fall, target - po_delay),
+            )
+        for name in reversed(order):
+            gate = network.gate(name)
+            cell = self._cell_of(name)
+            if cell is None:
+                d_rise = d_fall = 0.0
+            else:
+                load = self.stars[name].total_cap
+                d_rise = cell.delay(load, "rise")
+                d_fall = cell.delay(load, "fall")
+            out_rise, out_fall = req[name]
+            # budget available at the gate's input pins per transition
+            pin_rise_budget, pin_fall_budget = _required_through(
+                gate.gtype, out_rise - d_rise, out_fall - d_fall
+            )
+            for index, fanin in enumerate(gate.fanins):
+                pin = Pin(name, index)
+                wire = self.stars[fanin].sink_delay(pin)
+                old_rise, old_fall = req[fanin]
+                req[fanin] = (
+                    min(old_rise, pin_rise_budget - wire),
+                    min(old_fall, pin_fall_budget - wire),
+                )
+        self.required = {
+            net: min(pair) for net, pair in req.items()
+        }
+        self.slack = {}
+        for net in network.nets():
+            rise, fall = self.arrival.get(net, (0.0, 0.0))
+            req_rise, req_fall = req[net]
+            self.slack[net] = min(req_rise - rise, req_fall - fall)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def worst_arrival(self, net: str) -> float:
+        """Scalar (worst of rise/fall) arrival at a net."""
+        rise, fall = self.arrival[net]
+        return max(rise, fall)
+
+    def worst_slack(self) -> float:
+        """Minimum slack over all nets."""
+        return min(self.slack.values(), default=0.0)
+
+    def critical_path(self) -> list[PathPoint]:
+        """Trace the worst path from its primary output back to a PI."""
+        if not self.arrival:
+            self.analyze()
+        worst_po = max(
+            self.network.outputs,
+            key=lambda net: self.worst_arrival(net) + self._po_wire_delay(net),
+            default=None,
+        )
+        if worst_po is None:
+            return []
+        path: list[PathPoint] = []
+        current = worst_po
+        while True:
+            path.append(
+                PathPoint(
+                    net=current,
+                    arrival=self.worst_arrival(current),
+                    through="pi" if self.network.is_input(current) else "gate",
+                )
+            )
+            if self.network.is_input(current):
+                break
+            gate = self.network.gate(current)
+            if not gate.fanins:
+                break
+            best_fanin = None
+            best_value = -1.0
+            for index, fanin in enumerate(gate.fanins):
+                wire = self.stars[fanin].sink_delay(Pin(current, index))
+                value = self.worst_arrival(fanin) + wire
+                if value > best_value:
+                    best_value = value
+                    best_fanin = fanin
+            current = best_fanin
+        path.reverse()
+        return path
+
+    # ------------------------------------------------------------------
+    # local what-if evaluation
+    # ------------------------------------------------------------------
+    def swap_gain(self, swap: PinSwap) -> Gains:
+        """Projected local slack gains of a pin swap (ns).
+
+        Positive values mean the neighborhood improves.  The projection
+        rebuilds the two affected star nets with their sink pins
+        exchanged, recomputes driver arrivals and sink-gate arrivals
+        from cached values, and compares slacks; inverting swaps add an
+        inverter's delay and input load on both legs.
+        """
+        network = self.network
+        net_a = network.fanin_net(swap.pin_a)
+        net_b = network.fanin_net(swap.pin_b)
+        if net_a == net_b:
+            return Gains(0.0, 0.0, float("inf"))
+        inv_cell = None
+        if swap.inverting:
+            inv_cell = self.library.implementations(GateType.INV, 1)[0]
+        context: dict[str, float] = {}
+        frontier: dict[str, float] = {}
+        stars_new = {}
+        po_nets = set(network.outputs)
+        for net, lost_pin, gained_pin in (
+            (net_a, swap.pin_a, swap.pin_b),
+            (net_b, swap.pin_b, swap.pin_a),
+        ):
+            star = self._ensure_star(net)
+            specs = []
+            for sink in star.sinks:
+                if sink.pin == lost_pin:
+                    continue
+                specs.append((sink.pin, sink.location, sink.pin_cap))
+            gained_cap = (
+                inv_cell.input_cap if inv_cell is not None
+                else pin_capacitance(network, self.library, gained_pin)
+            )
+            specs.append(
+                (
+                    gained_pin,
+                    self.placement.locations[gained_pin.gate],
+                    gained_cap,
+                )
+            )
+            stars_new[net] = build_star(
+                network, self.placement, self.library, net,
+                po_pad_cap=self.po_pad_cap, override_sinks=specs,
+            )
+            context[net] = self._driver_arrival_with_load(
+                net, stars_new[net].total_cap
+            )
+            if net in po_nets:
+                frontier[net] = context[net] + self._po_delta(
+                    net, stars_new[net]
+                )
+        affected_gates = {swap.pin_a.gate, swap.pin_b.gate}
+        for net in (net_a, net_b):
+            for sink in self.stars[net].sinks:
+                if sink.pin is not None:
+                    affected_gates.add(sink.pin.gate)
+        # project in level order and feed results forward so chained
+        # effects inside a supergate (the logic-level-reduction move)
+        # are captured, not just first-order ones
+        for gate_name in sorted(
+            affected_gates,
+            key=lambda name: (self._levels.get(name, 0), name),
+        ):
+            projected = self._project_gate_arrival(
+                gate_name,
+                stars_new,
+                context,
+                swapped={swap.pin_a: net_b, swap.pin_b: net_a},
+                inv_cell=inv_cell,
+                inv_pins={swap.pin_a, swap.pin_b},
+            )
+            frontier[gate_name] = projected
+            context[gate_name] = projected
+        return self._local_gain(frontier)
+
+    def resize_gain(self, gate_name: str, new_cell_name: str) -> Gains:
+        """Projected local slack gains of a gate resize."""
+        network = self.network
+        gate = network.gate(gate_name)
+        old_cell = self._cell_of(gate_name)
+        new_cell = self.library.cell(new_cell_name)
+        if old_cell is None:
+            return Gains(0.0, 0.0, float("inf"))
+        context: dict[str, float] = {}
+        frontier: dict[str, float] = {}
+        stars_new: dict[str, StarNet] = {}
+        po_nets = set(network.outputs)
+        # fanin nets see a different pin capacitance
+        delta_cap = new_cell.input_cap - old_cell.input_cap
+        affected_gates: set[str] = {gate_name}
+        for fanin in set(gate.fanins):
+            star = self._ensure_star(fanin)
+            new_cap = star.total_cap + delta_cap * gate.fanins.count(fanin)
+            stars_new[fanin] = _with_total_cap(star, new_cap)
+            context[fanin] = self._driver_arrival_with_load(fanin, new_cap)
+            if fanin in po_nets:
+                frontier[fanin] = context[fanin]
+            for sink in star.sinks:
+                if sink.pin is not None:
+                    affected_gates.add(sink.pin.gate)
+        for name in sorted(
+            affected_gates,
+            key=lambda other: (self._levels.get(other, 0), other),
+        ):
+            projected = self._project_gate_arrival(
+                name,
+                stars_new,
+                context,
+                resized={gate_name: new_cell},
+            )
+            frontier[name] = projected
+            context[name] = projected
+        return self._local_gain(frontier)
+
+    def _driver_arrival_with_load(self, net: str, new_load: float) -> float:
+        """Scalar arrival at *net* if its driver saw *new_load*."""
+        if self.network.is_input(net):
+            return 0.0
+        cell = self._cell_of(net)
+        if cell is None:
+            return self.worst_arrival(net)
+        old_load = self.stars[net].total_cap
+        old = self.worst_arrival(net)
+        delta = cell.worst_delay(new_load) - cell.worst_delay(old_load)
+        return old + delta
+
+    def _project_gate_arrival(
+        self,
+        gate_name: str,
+        stars_new: dict[str, StarNet],
+        new_arrivals: dict[str, float],
+        swapped: dict[Pin, str] | None = None,
+        inv_cell: Cell | None = None,
+        inv_pins: set[Pin] | None = None,
+        resized: dict[str, Cell] | None = None,
+    ) -> float:
+        """Scalar arrival of a gate with selected nets/pins overridden."""
+        network = self.network
+        gate = network.gate(gate_name)
+        if gate.gtype in CONST_TYPES:
+            return 0.0
+        cell = (resized or {}).get(gate_name) or self._cell_of(gate_name)
+        load = self.stars[gate_name].total_cap if (
+            gate_name in self.stars
+        ) else 0.0
+        d_gate = cell.worst_delay(load) if cell is not None else 0.0
+        worst = 0.0
+        for index, fanin in enumerate(gate.fanins):
+            pin = Pin(gate_name, index)
+            if swapped and pin in swapped:
+                fanin = swapped[pin]
+            star = stars_new.get(fanin) or self._ensure_star(fanin)
+            try:
+                wire = star.sink_delay(pin)
+            except KeyError:
+                # what-if star: the pin keeps its cached wire delay
+                wire = self.stars[fanin].sink_delay(pin)
+            src = new_arrivals.get(fanin)
+            if src is None:
+                src = self.worst_arrival(fanin)
+            pin_arrival = src + wire
+            if inv_cell is not None and inv_pins and pin in inv_pins:
+                pin_cap = pin_capacitance(network, self.library, pin)
+                pin_arrival += inv_cell.worst_delay(pin_cap)
+            worst = max(worst, pin_arrival)
+        return worst + d_gate
+
+    def _po_delta(self, net: str, new_star: StarNet) -> float:
+        """Change of the PO-pad wire delay when a net's star changes."""
+        old = 0.0
+        for sink in self._ensure_star(net).sinks:
+            if sink.pin is None:
+                old = sink.wire_delay
+                break
+        new = 0.0
+        for sink in new_star.sinks:
+            if sink.pin is None:
+                new = sink.wire_delay
+                break
+        return new - old
+
+    def _local_gain(self, frontier: dict[str, float]) -> Gains:
+        """Compare projected vs. current slacks over the frontier nets.
+
+        The frontier contains only nets whose projected arrival already
+        folds in *every* effect of the move (changed fanin arrivals,
+        wire delays, own gate delay); upstream nets are deliberately
+        excluded because their slowdown or speedup is visible at the
+        frontier and their own required times would shift with the
+        move.
+        """
+        current_min = float("inf")
+        projected_min = float("inf")
+        sum_delta = 0.0
+        for net, projected_arrival in frontier.items():
+            if net not in self.slack:
+                continue
+            current = self.slack[net]
+            delta = projected_arrival - self.worst_arrival(net)
+            current_min = min(current_min, current)
+            projected_min = min(projected_min, current - delta)
+            sum_delta -= delta
+        if current_min == float("inf"):
+            return Gains(0.0, 0.0, float("inf"))
+        return Gains(projected_min - current_min, sum_delta, projected_min)
+
+    def slack_sum(self, nets: list[str]) -> float:
+        """Sum of slacks over the given nets (relaxation-phase metric)."""
+        return sum(self.slack.get(net, 0.0) for net in nets)
+
+
+def _propagate(
+    gtype: GateType, pin_rise: float, pin_fall: float
+) -> tuple[float, float]:
+    """Map pin-arrival transitions to output transitions by unateness."""
+    if gtype in XOR_TYPES:
+        worst = max(pin_rise, pin_fall)
+        return (worst, worst)
+    if gtype in _NEGATIVE_UNATE or (
+        is_inverted(gtype) and gtype is not GateType.XNOR
+    ):
+        return (pin_fall, pin_rise)
+    return (pin_rise, pin_fall)
+
+
+def _required_through(
+    gtype: GateType, out_rise_budget: float, out_fall_budget: float
+) -> tuple[float, float]:
+    """Inverse of :func:`_propagate` for the backward required pass.
+
+    Returns the (rise, fall) budgets at the gate's *input* pins given
+    the output budgets already reduced by the gate's arc delays.
+    """
+    if gtype in XOR_TYPES:
+        worst = min(out_rise_budget, out_fall_budget)
+        return (worst, worst)
+    if gtype in _NEGATIVE_UNATE or (
+        is_inverted(gtype) and gtype is not GateType.XNOR
+    ):
+        # pin fall feeds out rise and vice versa
+        return (out_fall_budget, out_rise_budget)
+    return (out_rise_budget, out_fall_budget)
+
+
+def _with_total_cap(star: StarNet, total_cap: float) -> StarNet:
+    """Copy of a star net with an adjusted total load."""
+    return StarNet(
+        net=star.net,
+        source=star.source,
+        center=star.center,
+        total_cap=max(total_cap, 0.0),
+        sinks=star.sinks,
+    )

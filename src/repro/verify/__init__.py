@@ -1,0 +1,15 @@
+"""Functional verification substrate."""
+
+from .equiv import (
+    EquivalenceError,
+    assert_equivalent,
+    find_counterexample,
+    networks_equivalent,
+)
+
+__all__ = [
+    "EquivalenceError",
+    "assert_equivalent",
+    "find_counterexample",
+    "networks_equivalent",
+]

@@ -1,0 +1,103 @@
+"""Command-line interface and the equivalence checker itself."""
+
+import pytest
+
+from repro.cli import main
+from repro.network.builder import NetworkBuilder
+from repro.verify.equiv import (
+    EquivalenceError,
+    assert_equivalent,
+    find_counterexample,
+    networks_equivalent,
+)
+
+from conftest import random_network
+
+
+# ----------------------------------------------------------------------
+# equivalence checking
+# ----------------------------------------------------------------------
+def test_identical_networks_equivalent():
+    net = random_network(31)
+    assert networks_equivalent(net, net.copy())
+
+
+def test_single_gate_difference_detected():
+    builder = NetworkBuilder()
+    a, b = builder.inputs(2)
+    builder.output(builder.and_(a, b, name="f"))
+    net = builder.build()
+    other = net.copy()
+    from repro.network.gatetype import GateType
+
+    other.set_gate_type("f", GateType.OR)
+    assert not networks_equivalent(net, other)
+    example = find_counterexample(net, other)
+    assert example is not None
+    from repro.logic.simulate import simulate_outputs
+
+    assert simulate_outputs(net, example) != simulate_outputs(other, example)
+
+
+def test_interface_mismatch_is_inequivalent():
+    net = random_network(32)
+    other = net.copy()
+    other.add_input("extra")
+    assert not networks_equivalent(net, other)
+
+
+def test_assert_equivalent_raises_with_counterexample():
+    builder = NetworkBuilder()
+    a, b = builder.inputs(2)
+    builder.output(builder.xor(a, b, name="f"))
+    net = builder.build()
+    other = net.copy()
+    from repro.network.gatetype import GateType
+
+    other.set_gate_type("f", GateType.XNOR)
+    with pytest.raises(EquivalenceError):
+        assert_equivalent(net, other)
+    assert_equivalent(net, net.copy())
+
+
+def test_wide_networks_use_bdd_path():
+    net = random_network(33, num_inputs=18, num_gates=30)
+    assert networks_equivalent(net, net.copy(), exhaustive_limit=4)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "alu2" in out and "s38417" in out
+
+
+def test_cli_bench_small(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0.12")
+    assert main(["bench", "c432", "--scale", "0.12"]) == 0
+    out = capsys.readouterr().out
+    assert "initial delay" in out
+    assert "gsg_gs" in out
+
+
+def test_cli_symmetries_on_blif(tmp_path, capsys):
+    from repro.network.blif import blif_text
+
+    net = random_network(34, num_gates=12)
+    path = tmp_path / "toy.blif"
+    path.write_text(blif_text(net))
+    assert main(["symmetries", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "supergates" in out
+
+
+def test_cli_symmetries_on_bench(tmp_path, capsys):
+    from repro.network.bench_io import bench_text
+
+    net = random_network(35, num_gates=12)
+    path = tmp_path / "toy.bench"
+    path.write_text(bench_text(net))
+    assert main(["symmetries", str(path)]) == 0
+    assert "swap" in capsys.readouterr().out.replace("swappable", "swap")

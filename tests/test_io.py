@@ -1,0 +1,146 @@
+"""BLIF and .bench readers/writers: round trips and SIS-style corners."""
+
+import pytest
+
+from repro.logic.simulate import truth_tables
+from repro.network.bench_io import bench_text, parse_bench
+from repro.network.blif import blif_text, parse_blif
+from repro.network.netlist import NetworkError
+from repro.verify.equiv import networks_equivalent
+
+from conftest import random_network
+
+
+def test_blif_round_trip_random_networks():
+    for seed in range(12):
+        net = random_network(seed, num_gates=16)
+        back = parse_blif(blif_text(net))
+        assert back.inputs == net.inputs
+        tables_a = truth_tables(net)
+        tables_b = truth_tables(back, support=list(net.inputs))
+        for out_a, out_b in zip(net.outputs, back.outputs):
+            assert tables_a[out_a] == tables_b[out_b], seed
+
+
+def test_bench_round_trip_random_networks():
+    for seed in range(12):
+        net = random_network(seed, num_gates=16)
+        back = parse_bench(bench_text(net))
+        tables_a = truth_tables(net)
+        tables_b = truth_tables(back, support=list(net.inputs))
+        for out_a, out_b in zip(net.outputs, back.outputs):
+            assert tables_a[out_a] == tables_b[out_b], seed
+
+
+def test_blif_sop_cover_synthesis():
+    text = """
+.model sop
+.inputs a b c
+.outputs f
+.names a b c f
+11- 1
+--1 1
+.end
+"""
+    net = parse_blif(text)
+    tables = truth_tables(net)
+    from repro.logic.simulate import variable_word
+
+    a = variable_word(0, 3)
+    b = variable_word(1, 3)
+    c = variable_word(2, 3)
+    assert tables[net.outputs[0]] == ((a & b) | c) & 0xFF
+
+
+def test_blif_offset_cover():
+    text = """
+.model off
+.inputs a b
+.outputs f
+.names a b f
+10 0
+01 0
+.end
+"""
+    net = parse_blif(text)
+    tables = truth_tables(net)
+    from repro.logic.simulate import variable_word
+
+    a = variable_word(0, 2)
+    b = variable_word(1, 2)
+    assert tables[net.outputs[0]] == (~(a ^ b)) & 0xF
+
+
+def test_blif_constants():
+    text = """
+.model consts
+.inputs a
+.outputs one zero
+.names one
+1
+.names zero
+.end
+"""
+    net = parse_blif(text)
+    tables = truth_tables(net)
+    assert tables["one"] == 0b11
+    assert tables["zero"] == 0
+
+
+def test_blif_latch_becomes_pseudo_input():
+    text = """
+.model seq
+.inputs a
+.outputs f
+.latch f q 0
+.names a q f
+11 1
+.end
+"""
+    net = parse_blif(text)
+    assert "q" in net.inputs
+
+
+def test_blif_continuation_lines():
+    text = ".model c\n.inputs a \\\nb\n.outputs f\n.names a b f\n11 1\n.end\n"
+    net = parse_blif(text)
+    assert net.inputs == ["a", "b"]
+
+
+def test_bench_dff_stripped():
+    text = """
+INPUT(a)
+OUTPUT(f)
+g = DFF(d)
+d = AND(a, g)
+f = NOT(d)
+"""
+    net = parse_bench(text)
+    # DFF output becomes a pseudo input, its data input a pseudo output
+    assert "g" in net.inputs
+    assert "d" in net.outputs
+
+
+def test_bench_rejects_garbage():
+    with pytest.raises(NetworkError):
+        parse_bench("f = FROB(a, b)\n")
+    with pytest.raises(NetworkError):
+        parse_bench("this is not bench\n")
+
+
+def test_bench_undefined_output_rejected():
+    with pytest.raises(NetworkError):
+        parse_bench("INPUT(a)\nOUTPUT(f)\n")
+
+
+def test_bench_constant_expansion():
+    from repro.network.builder import NetworkBuilder
+
+    builder = NetworkBuilder("c")
+    builder.input("a")
+    one = builder.const1()
+    builder.output(one)
+    net = builder.build()
+    back = parse_bench(bench_text(net))
+    tables = truth_tables(back, support=["a"])
+    assert tables[back.outputs[0]] == 0b11

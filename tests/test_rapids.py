@@ -1,0 +1,136 @@
+"""The RAPIDS engine: three modes, equivalence, placement discipline."""
+
+import pytest
+
+from repro.place.placer import place
+from repro.rapids.engine import MODES, run_rapids
+from repro.rapids.moves import MAX_MOVES_PER_SITE, SwapMove, swap_sites
+from repro.rapids.report import (
+    Table1Row,
+    averages,
+    build_row,
+    fanout_profile,
+)
+from repro.symmetry.supergate import extract_supergates
+from repro.synth.mapper import map_network
+from repro.timing.sta import TimingEngine
+from repro.verify.equiv import networks_equivalent
+
+from conftest import random_network
+
+
+def prepared(seed, library, gates=45):
+    net = random_network(seed, num_gates=gates, num_outputs=4)
+    map_network(net, library)
+    placement = place(net, library, seed=seed, anneal_moves=2000)
+    return net, placement
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_modes_preserve_function_and_never_worsen(mode, library):
+    net, placement = prepared(11, library)
+    reference = net.copy()
+    result = run_rapids(
+        net, placement, library, mode=mode, check_equivalence=True,
+    )
+    assert result.equivalent is True
+    assert networks_equivalent(reference, net)
+    assert result.optimize.final_delay <= (
+        result.optimize.initial_delay + 1e-9
+    )
+    assert result.mode == mode
+    assert result.coverage_percent >= 0
+    assert result.max_supergate_inputs >= 1
+
+
+def test_unknown_mode_rejected(library):
+    net, placement = prepared(12, library)
+    with pytest.raises(ValueError):
+        run_rapids(net, placement, library, mode="frobnicate")
+
+
+def test_rewiring_moves_no_cells(library):
+    """The paper's headline: gsg leaves every placed cell in place."""
+    net, placement = prepared(13, library)
+    result = run_rapids(net, placement, library, mode="gsg")
+    assert result.perturbation["moved_cells"] == 0
+    # only inverters may appear or disappear
+    assert result.perturbation["added_cells"] >= 0
+
+
+def test_gs_mode_does_not_touch_topology(library):
+    net, placement = prepared(14, library)
+    fanins_before = {g.name: list(g.fanins) for g in net.gates()}
+    run_rapids(net, placement, library, mode="gs")
+    for gate in net.gates():
+        assert gate.fanins == fanins_before[gate.name]
+
+
+def test_swap_sites_cap(library):
+    net, placement = prepared(15, library, gates=60)
+    engine = TimingEngine(net, placement, library)
+    engine.analyze()
+    sgn = extract_supergates(net)
+    for site in swap_sites(net, engine, sgn):
+        assert len(site.moves) <= 2 * MAX_MOVES_PER_SITE
+
+
+def test_swap_move_footprint_and_area(library):
+    net, placement = prepared(16, library)
+    engine = TimingEngine(net, placement, library)
+    engine.analyze()
+    sgn = extract_supergates(net)
+    sites = swap_sites(net, engine, sgn)
+    if not sites:
+        pytest.skip("no swap sites on this seed")
+    move = sites[0].moves[0]
+    assert isinstance(move, SwapMove)
+    footprint = move.footprint(net)
+    assert move.swap.pin_a.gate in footprint
+    if move.swap.inverting:
+        assert move.area_delta(library) > 0
+    else:
+        assert move.area_delta(library) == 0
+
+
+def test_table1_row_assembly(library):
+    net, placement = prepared(17, library, gates=30)
+    results = {}
+    for mode in MODES:
+        trial_net, trial_place = net.copy(), placement.copy()
+        results[mode] = run_rapids(trial_net, trial_place, library, mode=mode)
+    row = build_row("toy", len(net), results["gsg"].optimize.initial_delay,
+                    results)
+    text = row.format()
+    assert "toy" in text
+    assert len(text.split()) >= 13
+    avg = averages([row])
+    assert avg["gsg_gs_percent"] == pytest.approx(row.gsg_gs_percent)
+    assert Table1Row.HEADER.split()[0] == "ckt"
+
+
+def test_fanout_profile(library):
+    net, _ = prepared(18, library)
+    profile = fanout_profile(net)
+    assert profile["max_fanout"] >= 1
+    assert profile["nets_over_100"] >= 0
+
+
+def test_combined_mode_superset_of_sites(library):
+    """gsg+GS must expose sizing for trivially-covered gates."""
+    from repro.rapids.engine import _gsg_gs_factory
+
+    net, placement = prepared(19, library)
+    engine = TimingEngine(net, placement, library)
+    engine.analyze()
+    sites = _gsg_gs_factory(library)(net, engine)
+    kinds = {site.key.split(":")[0] for site in sites}
+    assert "gate" in kinds  # sizing sites exist
+    sgn = extract_supergates(net)
+    nontrivial_gates = {
+        name for sg in sgn.nontrivial() for name in sg.covered
+    }
+    for site in sites:
+        prefix, name = site.key.split(":", 1)
+        if prefix == "gate":
+            assert name not in nontrivial_gates

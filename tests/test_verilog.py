@@ -1,0 +1,100 @@
+"""Structural Verilog I/O: round trips, cell instances, escapes."""
+
+import pytest
+
+from repro.logic.simulate import truth_tables
+from repro.network.netlist import NetworkError
+from repro.network.verilog import parse_verilog, verilog_text
+from repro.network.validate import check_network
+
+from conftest import random_network
+
+
+def test_round_trip_random_networks():
+    for seed in range(10):
+        net = random_network(seed, num_gates=16)
+        back = parse_verilog(verilog_text(net))
+        check_network(back)
+        assert back.inputs == net.inputs
+        tables_a = truth_tables(net)
+        tables_b = truth_tables(back, support=list(net.inputs))
+        for out_a, out_b in zip(net.outputs, back.outputs):
+            assert tables_a[out_a] == tables_b[out_b], seed
+
+
+def test_round_trip_with_constants():
+    from repro.network.builder import NetworkBuilder
+
+    builder = NetworkBuilder("consts")
+    a = builder.input()
+    one = builder.const1()
+    builder.output(builder.and_(a, one, name="f"))
+    net = builder.build()
+    back = parse_verilog(verilog_text(net))
+    tables = truth_tables(back, support=[a])
+    assert tables[back.outputs[0]] == 0b10
+
+
+def test_primitive_gate_parsing():
+    text = """
+    module toy (a, b, y);
+      input a, b;
+      output y;
+      wire n1;
+      nand u1 (n1, a, b);
+      not (y, n1);
+    endmodule
+    """
+    net = parse_verilog(text)
+    assert net.name == "toy"
+    assert net.gate("n1").gtype.name == "NAND"
+    assert net.gate("y").gtype.name == "INV"
+    tables = truth_tables(net)
+    assert tables["y"] == (tables["a"] & tables["b"])
+
+
+def test_library_cell_instances():
+    text = """
+    module mapped (a, b, y);
+      input a, b; output y;
+      wire n;
+      NAND2_X2 u0 (.A(a), .B(b), .Y(n));
+      INV_X1 u1 (.A(n), .Y(y));
+    endmodule
+    """
+    net = parse_verilog(text)
+    assert net.gate("n").cell == "NAND2_X2"
+    assert net.gate("y").cell == "INV_X1"
+    tables = truth_tables(net)
+    assert tables["y"] == (tables["a"] & tables["b"])
+
+
+def test_comments_stripped():
+    text = """
+    // a comment
+    module t (a, y); /* block
+    comment */ input a; output y;
+    buf (y, a);
+    endmodule
+    """
+    net = parse_verilog(text)
+    assert net.outputs == ["y"]
+
+
+def test_bad_constructs_rejected():
+    with pytest.raises(NetworkError):
+        parse_verilog("module t (y); output y; assign y = 1; endmodule")
+    with pytest.raises(NetworkError):
+        parse_verilog(
+            "module t (a, y); input a; output y; endmodule"
+        )  # y never driven
+
+
+def test_escaped_identifiers_written():
+    from repro.network.builder import NetworkBuilder
+
+    builder = NetworkBuilder("esc")
+    a = builder.input("a.b[0]")
+    builder.output(builder.inv(a, name="weird$name"))
+    text = verilog_text(builder.build())
+    assert "\\a.b[0] " in text
