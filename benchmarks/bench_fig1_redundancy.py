@@ -20,7 +20,7 @@ from repro.symmetry.redundancy import (
     redundancy_counts,
 )
 
-from conftest import table1_names
+from bench_helpers import table1_names
 
 
 def _fig1a():

@@ -16,7 +16,7 @@ from repro.suite.registry import REGISTRY
 from repro.symmetry.supergate import extract_supergates
 from repro.symmetry.swap import count_swappable_pairs, swap_kinds
 
-from conftest import table1_names
+from bench_helpers import table1_names
 
 
 def _fig2():

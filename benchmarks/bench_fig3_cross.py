@@ -15,7 +15,7 @@ from repro.symmetry.cross import apply_cross_swap, find_cross_swaps
 from repro.symmetry.supergate import extract_supergates
 from repro.symmetry.verify import swap_preserves_outputs
 
-from conftest import table1_names
+from bench_helpers import table1_names
 
 
 def _fig3():

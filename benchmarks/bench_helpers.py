@@ -1,0 +1,27 @@
+"""Importable benchmark helpers (kept out of conftest on purpose).
+
+``benchmarks/conftest.py`` once exported ``table1_names`` for
+``from conftest import ...`` — the pattern that let it shadow
+``tests/conftest.py`` and break the whole test suite.  Helpers now
+live in this uniquely named module; the conftest keeps only fixtures.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.suite.registry import benchmark_names
+
+QUICK_SET = ["alu2", "c432", "c499", "k2", "s5378"]
+
+
+def quick_mode() -> bool:
+    """True when ``REPRO_BENCH_SET=quick`` restricts the circuit set."""
+    return os.environ.get("REPRO_BENCH_SET", "").lower() == "quick"
+
+
+def table1_names() -> list[str]:
+    """Benchmarks included in the Table 1 run."""
+    if quick_mode():
+        return QUICK_SET
+    return benchmark_names()

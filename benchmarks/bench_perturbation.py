@@ -12,7 +12,7 @@ import pytest
 
 from repro.rapids.report import fanout_profile
 
-from conftest import table1_names
+from bench_helpers import table1_names
 
 
 @pytest.mark.parametrize("name", table1_names()[:4])

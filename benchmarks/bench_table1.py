@@ -22,7 +22,7 @@ import pytest
 from repro.rapids.report import Table1Row, averages
 from repro.suite.registry import PAPER_AVERAGES, REGISTRY
 
-from conftest import table1_names
+from bench_helpers import table1_names
 
 _ROWS: dict[str, Table1Row] = {}
 

@@ -1,28 +1,20 @@
-"""Shared infrastructure for the benchmark harness.
+"""Shared fixtures for the benchmark harness.
 
 Scale: benchmarks honour ``REPRO_SCALE`` (default 0.35, like the test
 suite).  ``REPRO_BENCH_SET=quick`` restricts Table 1 to a five-circuit
 subset for fast iterations; the default runs all 19 rows.
+
+Helper *functions* live in ``bench_helpers.py`` — this module keeps
+only fixtures so it can never shadow another conftest's exports (the
+bug that used to break every test module).
 """
 
 from __future__ import annotations
-
-import os
 
 import pytest
 
 from repro.library.cells import default_library
 from repro.suite.flow import FlowConfig, run_benchmark
-from repro.suite.registry import benchmark_names
-
-QUICK_SET = ["alu2", "c432", "c499", "k2", "s5378"]
-
-
-def table1_names() -> list[str]:
-    """Benchmarks included in the Table 1 run."""
-    if os.environ.get("REPRO_BENCH_SET", "").lower() == "quick":
-        return QUICK_SET
-    return benchmark_names()
 
 
 @pytest.fixture(scope="session")

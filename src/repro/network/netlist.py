@@ -12,12 +12,23 @@ The structure is deliberately string-keyed: a pin is the pair
 than assignments into ``Gate.fanins``.  A monotonically increasing
 ``version`` counter lets analyses (fanout maps, topological orders,
 timing graphs) cache against a network snapshot and detect staleness.
+
+Incremental analyses additionally need to know *what* changed, not
+just *that* something changed: every mutating method therefore emits a
+typed mutation event to subscribed listeners (held weakly, so a
+forgotten engine never leaks).  A mutation performed outside these
+methods still bumps the version through :meth:`Network._touch`, which
+then emits the catch-all ``"unknown"`` event — listeners treat it as a
+full invalidation, so bypassing the typed mutators is safe, merely
+slower.
 """
 
 from __future__ import annotations
 
+import weakref
+
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, NamedTuple
+from typing import Iterable, Iterator, NamedTuple, Protocol
 
 from .gatetype import (
     CONST_TYPES,
@@ -40,6 +51,18 @@ class Pin(NamedTuple):
 
 class NetworkError(Exception):
     """Raised on structurally invalid network operations."""
+
+
+class NetworkListener(Protocol):
+    """Anything that wants to observe network mutations.
+
+    ``kind`` names the mutation (``"add_gate"``, ``"replace_fanin"``,
+    ...); ``data`` carries its operands.  The ``"unknown"`` kind means
+    an untracked mutation happened and all cached state derived from
+    the network must be considered stale.
+    """
+
+    def notify_network_event(self, kind: str, data: dict) -> None: ...
 
 
 @dataclass
@@ -90,6 +113,18 @@ class Network:
         self._fanout_version = -1
         self._topo_cache: list[str] | None = None
         self._topo_version = -1
+        self._listeners: weakref.WeakSet[NetworkListener] = weakref.WeakSet()
+
+    # ------------------------------------------------------------------
+    # mutation events
+    # ------------------------------------------------------------------
+    def subscribe(self, listener: NetworkListener) -> None:
+        """Register a mutation listener (held weakly)."""
+        self._listeners.add(listener)
+
+    def unsubscribe(self, listener: NetworkListener) -> None:
+        """Remove a previously subscribed listener (no-op if absent)."""
+        self._listeners.discard(listener)
 
     # ------------------------------------------------------------------
     # construction
@@ -102,13 +137,13 @@ class Network:
             raise NetworkError(f"net {name!r} already driven by a gate")
         self.inputs.append(name)
         self._input_set.add(name)
-        self._touch()
+        self._touch(("add_input", {"net": name}))
         return name
 
     def add_output(self, net: str) -> str:
         """Declare *net* a primary output (it may also feed other gates)."""
         self.outputs.append(net)
-        self._touch()
+        self._touch(("add_output", {"net": net}))
         return net
 
     def add_gate(
@@ -131,7 +166,7 @@ class Network:
             )
         gate = Gate(name=name, gtype=gtype, fanins=fanin_list, cell=cell)
         self._gates[name] = gate
-        self._touch()
+        self._touch(("add_gate", {"gate": name, "fanins": tuple(fanin_list)}))
         return gate
 
     def remove_gate(self, name: str) -> None:
@@ -145,8 +180,9 @@ class Network:
             )
         if name in self.outputs:
             raise NetworkError(f"gate {name!r} is a primary output")
+        fanins = tuple(self._gates[name].fanins)
         del self._gates[name]
-        self._touch()
+        self._touch(("remove_gate", {"gate": name, "fanins": fanins}))
 
     # ------------------------------------------------------------------
     # queries
@@ -302,8 +338,12 @@ class Network:
     # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------
-    def _touch(self) -> None:
+    def _touch(self, event: tuple[str, dict] | None = None) -> None:
         self.version += 1
+        if self._listeners:
+            kind, data = event if event is not None else ("unknown", {})
+            for listener in tuple(self._listeners):
+                listener.notify_network_event(kind, data)
 
     def replace_fanin(self, pin: Pin, net: str) -> str:
         """Reconnect *pin* to *net*; returns the previously connected net."""
@@ -312,7 +352,7 @@ class Network:
             raise NetworkError(f"unknown net {net!r}")
         old = gate.fanins[pin.index]
         gate.fanins[pin.index] = net
-        self._touch()
+        self._touch(("replace_fanin", {"pin": pin, "old": old, "new": net}))
         return old
 
     def swap_fanins(self, pin_a: Pin, pin_b: Pin) -> None:
@@ -321,14 +361,17 @@ class Network:
         net_b = self.fanin_net(pin_b)
         self.gate(pin_a.gate).fanins[pin_a.index] = net_b
         self.gate(pin_b.gate).fanins[pin_b.index] = net_a
-        self._touch()
+        self._touch((
+            "swap_fanins",
+            {"pin_a": pin_a, "pin_b": pin_b, "net_a": net_a, "net_b": net_b},
+        ))
 
     def replace_output(self, old: str, new: str) -> None:
         """Retarget every primary-output reference from *old* to *new*."""
         if new not in self:
             raise NetworkError(f"unknown net {new!r}")
         self.outputs = [new if net == old else net for net in self.outputs]
-        self._touch()
+        self._touch(("replace_output", {"old": old, "new": new}))
 
     def set_gate_type(self, name: str, gtype: GateType) -> None:
         """Change a gate's logic type in place (arity must stay legal)."""
@@ -340,7 +383,28 @@ class Network:
             )
         gate.gtype = gtype
         gate.cell = None
-        self._touch()
+        self._touch((
+            "set_gate_type", {"gate": name, "fanins": tuple(gate.fanins)}
+        ))
+
+    def set_cell(self, name: str, cell: str | None) -> None:
+        """Rebind a gate to a library cell (``None`` unbinds)."""
+        gate = self.gate(name)
+        gate.cell = cell
+        self._touch(("set_cell", {"gate": name, "fanins": tuple(gate.fanins)}))
+
+    def set_fanins(self, name: str, fanins: Iterable[str]) -> None:
+        """Replace a gate's whole fanin list.
+
+        Arity is not validated against the current gate type: callers
+        that shrink a gate (constant folding) fix the type right after.
+        """
+        gate = self.gate(name)
+        old = tuple(gate.fanins)
+        gate.fanins = list(fanins)
+        self._touch((
+            "set_fanins", {"gate": name, "old": old, "new": tuple(gate.fanins)}
+        ))
 
     def recent_gates(self, count: int) -> list[str]:
         """Names of the *count* most recently added gates (oldest first).

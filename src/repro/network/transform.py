@@ -150,7 +150,7 @@ def _fold_gate(network: Network, name: str, const_values: dict[int, int]) -> Non
     if len(const_values) == gate.arity():
         words = [const_values[i] for i in range(gate.arity())]
         value = eval_gate(gate.gtype, words, mask=1)
-        gate.fanins = []
+        network.set_fanins(name, [])
         network.set_gate_type(
             name, GateType.CONST1 if value else GateType.CONST0
         )
@@ -166,7 +166,7 @@ def _fold_gate(network: Network, name: str, const_values: dict[int, int]) -> Non
             out = (0 if cv == 0 else 1)
             if is_inverted(gate.gtype):
                 out = 1 - out
-            gate.fanins = []
+            network.set_fanins(name, [])
             network.set_gate_type(
                 name, GateType.CONST1 if out else GateType.CONST0
             )
@@ -177,14 +177,11 @@ def _fold_gate(network: Network, name: str, const_values: dict[int, int]) -> Non
             if index not in const_values
         ]
         inverted = is_inverted(gate.gtype)
+        network.set_fanins(name, keep)
         if len(keep) == 1:
-            gate.fanins = keep
             network.set_gate_type(
                 name, GateType.INV if inverted else GateType.BUF
             )
-        else:
-            gate.fanins = keep
-            network._touch()
         return
     # XOR class: constants toggle or preserve polarity
     parity = sum(const_values.values()) % 2
@@ -195,11 +192,10 @@ def _fold_gate(network: Network, name: str, const_values: dict[int, int]) -> Non
     from .gatetype import is_inverted
 
     inverted = is_inverted(gate.gtype) ^ (parity == 1)
+    network.set_fanins(name, keep)
     if len(keep) == 1:
-        gate.fanins = keep
         network.set_gate_type(name, GateType.INV if inverted else GateType.BUF)
     else:
-        gate.fanins = keep
         network.set_gate_type(
             name, GateType.XNOR if inverted else GateType.XOR
         )

@@ -25,12 +25,175 @@ from ..place.placement import Placement, perturbation
 from ..sizing.coudert import OptimizeResult, Site, optimize
 from ..sizing.moves import resize_sites
 from ..symmetry.redundancy import find_easy_redundancies, redundancy_counts
-from ..symmetry.supergate import extract_supergates
+from ..symmetry.supergate import (
+    SupergateNetwork,
+    extract_supergates,
+    grow_supergate,
+)
 from ..timing.sta import TimingEngine
 from ..verify.equiv import networks_equivalent
 from .moves import swap_sites
 
 MODES = ("gsg", "gs", "gsg_gs")
+
+
+class SupergateCache:
+    """Supergate extraction cached across optimizer rounds.
+
+    Subscribes to the network's mutation events; :meth:`get` drops
+    only the supergates whose covered gates — or whose boundary nets'
+    fanout — were touched since the previous extraction and re-grows
+    the freed region, reusing every untouched supergate.  Falls back
+    to a full re-extraction when an untracked mutation happens or a
+    boundary shifts beyond the tracked region.
+    """
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+        self.full_extractions = 0
+        self.partial_refreshes = 0
+        self._sgn: SupergateNetwork | None = None
+        self._touched_gates: set[str] = set()
+        self._touched_nets: set[str] = set()
+        self._removed: set[str] = set()
+        self._full = True
+        network.subscribe(self)
+
+    def notify_network_event(self, kind: str, data: dict) -> None:
+        if kind == "replace_fanin":
+            self._touched_nets.add(data["old"])
+            self._touched_nets.add(data["new"])
+            self._touched_gates.add(data["pin"].gate)
+        elif kind == "swap_fanins":
+            self._touched_nets.add(data["net_a"])
+            self._touched_nets.add(data["net_b"])
+            self._touched_gates.add(data["pin_a"].gate)
+            self._touched_gates.add(data["pin_b"].gate)
+        elif kind == "add_gate":
+            self._removed.discard(data["gate"])
+            self._touched_gates.add(data["gate"])
+            self._touched_nets.update(data["fanins"])
+        elif kind == "remove_gate":
+            self._removed.add(data["gate"])
+            self._touched_gates.discard(data["gate"])
+            self._touched_nets.update(data["fanins"])
+        elif kind == "set_gate_type":
+            # the gate's own net is a growth boundary for its
+            # consumers' supergates: a class change (say XOR -> INV)
+            # can make it absorbable, so their owners must re-grow
+            self._touched_gates.add(data["gate"])
+            self._touched_nets.add(data["gate"])
+            self._touched_nets.update(data["fanins"])
+        elif kind == "set_fanins":
+            self._touched_gates.add(data["gate"])
+            self._touched_nets.add(data["gate"])
+            self._touched_nets.update(data["old"])
+            self._touched_nets.update(data["new"])
+        elif kind == "set_cell":
+            pass  # cell binding does not change supergate structure
+        elif kind in ("add_output", "replace_output", "add_input"):
+            # fanout degree counts primary-output use, so coverage
+            # boundaries can move when PO bindings change
+            for key in ("net", "old", "new"):
+                if key in data:
+                    self._touched_nets.add(data[key])
+        elif kind == "restore":
+            if data["io_changed"]:
+                self._full = True
+                return
+            for name, fanins in data["removed"]:
+                self._removed.add(name)
+                self._touched_gates.discard(name)
+                self._touched_nets.update(fanins)
+            for name, fanins in data["added"]:
+                self._removed.discard(name)
+                self._touched_gates.add(name)
+                self._touched_nets.update(fanins)
+            for name, old_fanins, new_fanins in data["changed"]:
+                self._touched_gates.add(name)
+                self._touched_nets.add(name)  # gtype may have changed
+                self._touched_nets.update(old_fanins)
+                self._touched_nets.update(new_fanins)
+        else:
+            self._full = True
+
+    def get(self) -> SupergateNetwork:
+        """Current supergate partition, refreshed as locally as possible."""
+        network = self.network
+        if self._sgn is None or self._full:
+            return self._extract_full()
+        sgn = self._sgn
+        if not (self._touched_gates or self._touched_nets or self._removed):
+            sgn.network_version = network.version
+            return sgn
+        # gates whose coverage may have changed: the touched gates, the
+        # drivers and the consumers of every touched net (the net's
+        # fanout degree gates supergate growth across it)
+        seeds: set[str] = set()
+        for gate in self._touched_gates:
+            if gate in network and not network.is_input(gate):
+                seeds.add(gate)
+        for net in self._touched_nets:
+            if net not in network:
+                continue
+            if not network.is_input(net):
+                seeds.add(net)
+            for pin in network.fanout(net):
+                seeds.add(pin.gate)
+        invalid_roots: set[str] = set()
+        region: set[str] = set()
+        for gate in seeds:
+            root = sgn.owner.get(gate)
+            if root is None:
+                region.add(gate)  # new gate, never covered
+            else:
+                invalid_roots.add(root)
+        for name in self._removed:
+            root = sgn.owner.get(name)
+            if root is not None:
+                invalid_roots.add(root)
+        for root in invalid_roots:
+            sg = sgn.supergates.pop(root, None)
+            if sg is None:
+                continue
+            for gate in sg.covered:
+                if sgn.owner.get(gate) == root:
+                    del sgn.owner[gate]
+                if gate in network:
+                    region.add(gate)
+        for name in self._removed:
+            sgn.owner.pop(name, None)
+            sgn.supergates.pop(name, None)
+            region.discard(name)
+        for name in reversed(network.topo_order()):
+            if name not in region or name in sgn.owner:
+                continue
+            sg = grow_supergate(network, name)
+            for covered_name in sg.covered:
+                if sgn.owner.get(covered_name) is not None:
+                    # growth crossed into a supergate we considered
+                    # valid: the tracked region under-approximated the
+                    # change — rebuild everything
+                    return self._extract_full()
+            for covered_name in sg.covered:
+                sgn.owner[covered_name] = name
+            sgn.supergates[name] = sg
+        sgn.network_version = network.version
+        self._reset_dirty()
+        self.partial_refreshes += 1
+        return sgn
+
+    def _extract_full(self) -> SupergateNetwork:
+        self._sgn = extract_supergates(self.network)
+        self._reset_dirty()
+        self.full_extractions += 1
+        return self._sgn
+
+    def _reset_dirty(self) -> None:
+        self._touched_gates.clear()
+        self._touched_nets.clear()
+        self._removed.clear()
+        self._full = False
 
 
 @dataclass
@@ -58,9 +221,25 @@ class RapidsResult:
         return self.optimize.runtime_seconds
 
 
+def _cached_sgn(slot: list[SupergateCache | None], network: Network):
+    """Supergate partition for *network* through a one-slot cache.
+
+    The optimizer calls its site factory on the same live network
+    every round; the identity check guards against a caller reusing
+    one factory across designs.
+    """
+    cache = slot[0]
+    if cache is None or cache.network is not network:
+        cache = SupergateCache(network)
+        slot[0] = cache
+    return cache.get()
+
+
 def _gsg_factory(library: Library, include_inverting: bool = True):
+    slot: list[SupergateCache | None] = [None]
+
     def factory(network: Network, engine: TimingEngine) -> list[Site]:
-        sgn = extract_supergates(network)
+        sgn = _cached_sgn(slot, network)
         return swap_sites(
             network, engine, sgn, include_inverting=include_inverting
         )
@@ -76,8 +255,10 @@ def _gs_factory(library: Library):
 
 
 def _gsg_gs_factory(library: Library):
+    slot: list[SupergateCache | None] = [None]
+
     def factory(network: Network, engine: TimingEngine) -> list[Site]:
-        sgn = extract_supergates(network)
+        sgn = _cached_sgn(slot, network)
         sites = swap_sites(network, engine, sgn)
         nontrivial_gates = {
             name
@@ -105,6 +286,7 @@ def run_rapids(
     batch_limit: int = 64,
     check_equivalence: bool = False,
     collect_log: bool = False,
+    incremental: bool = True,
 ) -> RapidsResult:
     """Optimize a placed mapped network in place; returns the report.
 
@@ -137,6 +319,7 @@ def run_rapids(
         max_rounds=max_rounds,
         batch_limit=batch_limit,
         collect_log=collect_log,
+        incremental=incremental,
     )
     result = RapidsResult(
         mode=mode,

@@ -27,13 +27,7 @@ class SwapMove:
         return engine.swap_gain(self.swap)
 
     def footprint(self, network: Network) -> set[str]:
-        swap = self.swap
-        return {
-            network.fanin_net(swap.pin_a),
-            network.fanin_net(swap.pin_b),
-            swap.pin_a.gate,
-            swap.pin_b.gate,
-        }
+        return self.swap.footprint(network)
 
     def apply(self, network: Network, library: Library) -> None:
         before = len(network)
@@ -62,7 +56,9 @@ def bind_new_inverters(
         if gate.cell is not None:
             continue
         if gate.gtype in (GateType.INV, GateType.BUF):
-            gate.cell = library.implementations(gate.gtype, 1)[0].name
+            network.set_cell(
+                name, library.implementations(gate.gtype, 1)[0].name
+            )
 
 
 def swap_sites(

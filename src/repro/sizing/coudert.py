@@ -19,6 +19,14 @@ supergate with its set of legal pin swaps):
 
 The loop keeps a snapshot of the best (network, placement) seen and
 restores it at the end, so results are monotone in the reported metric.
+
+One :class:`~repro.timing.sta.TimingEngine` stays alive across both
+phases, all rounds and area recovery: after each committed batch the
+engine incrementally re-propagates timing through the affected region
+(``engine.apply_and_update``) instead of rebuilding every star net and
+re-running full STA.  ``incremental=False`` restores the historical
+rebuild-everything behaviour for A/B benchmarking
+(``benchmarks/bench_incremental_sta.py``).
 """
 
 from __future__ import annotations
@@ -76,6 +84,7 @@ class OptimizeResult:
     moves_applied: int = 0
     runtime_seconds: float = 0.0
     move_log: list[str] = field(default_factory=list)
+    timing_stats: dict[str, int] = field(default_factory=dict)
 
     @property
     def improvement_percent(self) -> float:
@@ -115,11 +124,15 @@ def optimize(
     batch_limit: int = 64,
     epsilon: float = 1e-9,
     collect_log: bool = False,
+    incremental: bool = True,
 ) -> OptimizeResult:
     """Run the two-phase loop; mutates *network* (and placement) in place.
 
     *site_factory* is re-invoked after every committed batch because
-    moves can restructure the network (swaps insert inverters).
+    moves can restructure the network (swaps insert inverters).  With
+    *incremental* (the default) a single timing engine survives the
+    whole run and committed batches propagate through it locally;
+    ``incremental=False`` rebuilds a fresh engine after every batch.
     """
     from ..synth.mapper import network_area
 
@@ -129,7 +142,7 @@ def optimize(
     initial_delay = engine.max_delay
     initial_area = network_area(network, library)
     best_delay = initial_delay
-    best_snapshot = (network.copy(), placement.copy())
+    best_snapshot = _snapshot(network, placement)
     result = OptimizeResult(
         mode=mode,
         initial_delay=initial_delay,
@@ -145,21 +158,19 @@ def optimize(
             metric="min", batch_limit=batch_limit, epsilon=epsilon,
             result=result, collect_log=collect_log,
         )
-        engine = TimingEngine(network, placement, library)
-        engine.analyze()
+        engine = _refreshed(engine, incremental)
         if engine.max_delay < best_delay - epsilon:
             best_delay = engine.max_delay
-            best_snapshot = (network.copy(), placement.copy())
+            best_snapshot = _snapshot(network, placement)
         applied_sum = _phase(
             network, placement, library, engine, site_factory,
             metric="sum", batch_limit=batch_limit, epsilon=epsilon,
             result=result, collect_log=collect_log,
         )
-        engine = TimingEngine(network, placement, library)
-        engine.analyze()
+        engine = _refreshed(engine, incremental)
         if engine.max_delay < best_delay - epsilon:
             best_delay = engine.max_delay
-            best_snapshot = (network.copy(), placement.copy())
+            best_snapshot = _snapshot(network, placement)
             stagnant = 0
         else:
             stagnant += 1
@@ -168,29 +179,54 @@ def optimize(
         if stagnant >= 2:
             break
     _restore(network, placement, best_snapshot)
-    _area_recovery(
-        network, placement, library, site_factory,
-        best_delay, epsilon, result,
+    engine = _refreshed(engine, incremental)
+    engine = _area_recovery(
+        network, placement, library, engine, site_factory,
+        best_delay, epsilon, result, incremental=incremental,
     )
     from ..network.transform import sweep
 
     sweep(network)
-    result.final_delay = network_delay(network, placement, library)
+    engine = _refreshed(engine, incremental)
+    result.final_delay = engine.max_delay
     result.final_area = network_area(network, library)
     result.runtime_seconds = time.perf_counter() - start
+    result.timing_stats = engine.stats.as_dict()
     return result
+
+
+def _refreshed(engine: TimingEngine, incremental: bool) -> TimingEngine:
+    """Up-to-date engine after a committed batch.
+
+    Incremental mode updates the live engine in place; the baseline
+    mode rebuilds one from scratch (the historical full-STA-per-round
+    behaviour), carrying the work counters across so A/B benchmarks
+    compare total timing-update work.
+    """
+    if incremental:
+        engine.refresh()
+        return engine
+    fresh = TimingEngine(
+        engine.network, engine.placement, engine.library,
+        period=engine.period, po_pad_cap=engine.po_pad_cap,
+    )
+    fresh.stats = engine.stats
+    fresh.analyze()
+    return fresh
 
 
 def _area_recovery(
     network: Network,
     placement: Placement,
     library: Library,
+    engine: TimingEngine,
     site_factory: SiteFactory,
     best_delay: float,
     epsilon: float,
     result: OptimizeResult,
+    incremental: bool = True,
     max_rounds: int = 6,
-) -> None:
+) -> TimingEngine:
     """Downsize/simplify wherever it is free (Coudert's area recovery).
 
     Takes the largest-area-saving move per site whose projected
@@ -200,8 +236,7 @@ def _area_recovery(
     """
     slack_floor = -1e-9
     for _ in range(max_rounds):
-        engine = TimingEngine(network, placement, library)
-        engine.analyze()
+        engine = _refreshed(engine, incremental)
         sites = site_factory(network, engine)
         candidates: list[tuple[float, int, Move]] = []
         for order, site in enumerate(sites):
@@ -222,9 +257,9 @@ def _area_recovery(
             if best_move is not None:
                 candidates.append((best_area, order, best_move))
         if not candidates:
-            return
+            return engine
         candidates.sort(key=lambda item: (item[0], item[1]))
-        snapshot = (network.copy(), placement.copy())
+        snapshot = _snapshot(network, placement)
         touched: set[str] = set()
         applied = 0
         for _area, _order, move in candidates:
@@ -235,12 +270,13 @@ def _area_recovery(
             touched |= footprint
             applied += 1
         if not applied:
-            return
-        new_delay = network_delay(network, placement, library)
-        if new_delay > best_delay + 1e-6:
+            return engine
+        engine = _refreshed(engine, incremental)
+        if engine.max_delay > best_delay + 1e-6:
             _restore(network, placement, snapshot)
-            return
+            return _refreshed(engine, incremental)
         result.moves_applied += applied
+    return engine
 
 
 def _phase(
@@ -256,8 +292,7 @@ def _phase(
     collect_log: bool,
 ) -> int:
     """One greedy batch of the given metric; returns moves applied."""
-    if not engine.is_fresh():
-        engine.analyze()
+    engine.refresh()
     sites = site_factory(network, engine)
     candidates: list[tuple[float, float, int, Move]] = []
     for order, site in enumerate(sites):
@@ -306,20 +341,82 @@ def _phase(
     return applied
 
 
+def _snapshot(
+    network: Network, placement: Placement
+) -> tuple[Network, Placement, int]:
+    """Deep copies plus the live network's version at capture time.
+
+    The version lets :func:`_restore` recognise that nothing mutated
+    since the capture and skip the rollback — important for the
+    incremental timing engine, which treats a wholesale restore as an
+    untracked mutation and would re-run full STA for nothing.
+    """
+    return (network.copy(), placement.copy(), network.version)
+
+
 def _restore(
     network: Network,
     placement: Placement,
-    snapshot: tuple[Network, Placement],
+    snapshot: tuple[Network, Placement, int],
 ) -> None:
-    """Copy the snapshot's contents back into the live objects."""
-    best_network, best_placement = snapshot
+    """Copy the snapshot's contents back into the live objects.
+
+    Emits a ``"restore"`` mutation event carrying the exact gate-level
+    diff, so incremental listeners (the timing engine, the supergate
+    cache) invalidate only what the rollback actually changed instead
+    of re-analyzing the whole design.
+    """
+    best_network, best_placement, version = snapshot
+    if network.version == version:
+        return  # live state is the snapshot: nothing to roll back
+    live_gates = network._gates
+    best_gates = best_network._gates
+    removed = tuple(
+        (name, tuple(gate.fanins))
+        for name, gate in live_gates.items() if name not in best_gates
+    )
+    added = tuple(
+        (name, tuple(gate.fanins))
+        for name, gate in best_gates.items() if name not in live_gates
+    )
+    changed = []
+    for name, gate in best_gates.items():
+        other = live_gates.get(name)
+        if other is None:
+            continue
+        if (
+            gate.gtype is not other.gtype
+            or gate.fanins != other.fanins
+            or gate.cell != other.cell
+        ):
+            changed.append((name, tuple(other.fanins), tuple(gate.fanins)))
+    # the optimizer never rebinds IO or moves placed cells, but a
+    # listener must not trust that silently — flag anything beyond a
+    # pure gate-level rollback so it falls back to full re-analysis
+    io_changed = (
+        network.inputs != best_network.inputs
+        or network.outputs != best_network.outputs
+        or any(
+            best_placement.locations.get(name) != location
+            for name, location in placement.locations.items()
+            if name in best_placement.locations
+        )
+    )
     network.inputs = list(best_network.inputs)
     network._input_set = set(best_network._input_set)
     network.outputs = list(best_network.outputs)
     network._gates = {
         name: gate for name, gate in best_network.copy()._gates.items()
     }
-    network._touch()
     placement.locations = dict(best_placement.locations)
     placement.input_pads = dict(best_placement.input_pads)
     placement.output_pads = dict(best_placement.output_pads)
+    network._touch((
+        "restore",
+        {
+            "added": added,
+            "removed": removed,
+            "changed": tuple(changed),
+            "io_changed": io_changed,
+        },
+    ))

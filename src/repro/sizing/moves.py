@@ -22,12 +22,14 @@ class ResizeMove:
         return engine.resize_gain(self.gate, self.new_cell)
 
     def footprint(self, network: Network) -> set[str]:
+        """Exactly the nets whose timing a resize can move: the gate's
+        own output net (its delay arcs change) and every fanin net
+        (their loads see the new pin capacitance)."""
         gate = network.gate(self.gate)
         return {self.gate, *gate.fanins}
 
     def apply(self, network: Network, library: Library) -> None:
-        network.gate(self.gate).cell = self.new_cell
-        network._touch()
+        network.set_cell(self.gate, self.new_cell)
 
     def area_delta(self, library: Library) -> float:
         return (

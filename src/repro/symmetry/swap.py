@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator
 
+from ..network.gatetype import GateType
 from ..network.netlist import Network, Pin
 from ..network.transform import swap_inverting, swap_noninverting
 from .supergate import SgClass, Supergate, SupergateNetwork
@@ -41,6 +42,32 @@ class PinSwap:
             f"{kind} swap {self.pin_a}({net_a}) <-> {self.pin_b}({net_b}) "
             f"in supergate {self.root}"
         )
+
+    def footprint(self, network: Network) -> set[str]:
+        """Every net whose timing applying this swap can change.
+
+        Non-inverting swaps touch the two driving nets and the two
+        swapped gates' output nets.  Inverting swaps additionally
+        involve the inverter-reuse candidates of
+        :func:`~repro.network.transform.complement_net`: an existing
+        inverter of either driver (its load grows) or, when the driver
+        itself is an inverter, the net it taps.  Batch independence in
+        the optimizer relies on this set being complete — two moves
+        with disjoint footprints must not interact.
+        """
+        net_a = network.fanin_net(self.pin_a)
+        net_b = network.fanin_net(self.pin_b)
+        nets = {net_a, net_b, self.pin_a.gate, self.pin_b.gate}
+        if self.inverting:
+            for net in (net_a, net_b):
+                driver = network.driver(net)
+                if driver is not None and driver.gtype is GateType.INV:
+                    nets.add(driver.fanins[0])
+                for sink in network.fanout(net):
+                    gate = network.gate(sink.gate)
+                    if gate.gtype is GateType.INV:
+                        nets.add(gate.name)
+        return nets
 
 
 def swap_kinds(sg: Supergate, pin_a: Pin, pin_b: Pin) -> set[str]:

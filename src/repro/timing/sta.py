@@ -11,12 +11,30 @@ offers *local what-if evaluation* for the optimizer: the projected
 slack effect of a pin swap or a gate resize computed from cached state
 in O(neighborhood), without mutating the network.  This mirrors
 Coudert's neighborhood formulation that the paper builds on.
+
+The engine is also *incremental*: it subscribes to the network's
+mutation events and, on :meth:`TimingEngine.apply_and_update`,
+re-propagates arrival times only through the transitive fanout of the
+changed nets (a levelized worklist that stops as soon as values
+converge) and required times only through the affected fanin frontier.
+Required times are cached relative to a zero timing target, which
+makes them independent of the clock period / critical-path target: a
+target shift rescales every slack without re-propagating anything.
+Star RC models of untouched nets are reused verbatim, so the
+expensive per-node work of an update — star geometry rebuilds and
+delay-model evaluations — is O(affected region), not O(network).
+(Folding slacks against the target and patching logic levels after a
+structural change remain cheap O(nets) arithmetic passes: the default
+target is the critical-path delay, which moves with almost every
+committed batch and shifts every slack with it.)
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import NamedTuple
+import heapq
+
+from dataclasses import dataclass, field
+from typing import Iterable, NamedTuple
 
 from ..library.cells import Cell, Library
 from ..network.gatetype import CONST_TYPES, GateType, XOR_TYPES, is_inverted
@@ -37,6 +55,37 @@ class PathPoint:
     net: str
     arrival: float
     through: str  # "gate" or "wire" or "pi"
+
+
+@dataclass
+class TimingStats:
+    """Work counters for full vs. incremental timing updates.
+
+    ``node_updates`` is the benchmarkable unit of timing-update work: a
+    star RC rebuild, a gate arrival evaluation, or a required-time
+    evaluation (the three per-node operations both the full and the
+    incremental flow are made of).
+    """
+
+    full_analyses: int = 0
+    incremental_updates: int = 0
+    stars_built: int = 0
+    arrival_evals: int = 0
+    required_evals: int = 0
+
+    @property
+    def node_updates(self) -> int:
+        return self.stars_built + self.arrival_evals + self.required_evals
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "full_analyses": self.full_analyses,
+            "incremental_updates": self.incremental_updates,
+            "stars_built": self.stars_built,
+            "arrival_evals": self.arrival_evals,
+            "required_evals": self.required_evals,
+            "node_updates": self.node_updates,
+        }
 
 
 class Gains(NamedTuple):
@@ -75,8 +124,89 @@ class TimingEngine:
         self.slack: dict[str, float] = {}
         self.stars: dict[str, StarNet] = {}
         self.max_delay = 0.0
+        self.stats = TimingStats()
         self._levels: dict[str, int] = {}
         self._analyzed_version = -1
+        # required pairs relative to a zero target (target-independent)
+        self._req0: dict[str, tuple[float, float]] = {}
+        self._target = 0.0
+        # incremental-update state fed by network mutation events
+        self._dirty_stars: set[str] = set()
+        self._dirty_gates: set[str] = set()
+        self._dead: set[str] = set()
+        self._structure_dirty = False
+        self._needs_full = True
+        network.subscribe(self)
+
+    # ------------------------------------------------------------------
+    # mutation tracking
+    # ------------------------------------------------------------------
+    def notify_network_event(self, kind: str, data: dict) -> None:
+        """Accumulate dirty state from a network mutation event."""
+        if kind == "replace_fanin":
+            self._dirty_stars.add(data["old"])
+            self._dirty_stars.add(data["new"])
+            self._dirty_gates.add(data["pin"].gate)
+            self._structure_dirty = True
+        elif kind == "swap_fanins":
+            self._dirty_stars.add(data["net_a"])
+            self._dirty_stars.add(data["net_b"])
+            self._dirty_gates.add(data["pin_a"].gate)
+            self._dirty_gates.add(data["pin_b"].gate)
+            self._structure_dirty = True
+        elif kind == "add_gate":
+            self._dead.discard(data["gate"])
+            self._dirty_stars.add(data["gate"])
+            self._dirty_stars.update(data["fanins"])
+            self._dirty_gates.add(data["gate"])
+            self._structure_dirty = True
+        elif kind == "remove_gate":
+            name = data["gate"]
+            self._dead.add(name)
+            self._dirty_stars.discard(name)
+            self._dirty_gates.discard(name)
+            self._dirty_stars.update(data["fanins"])
+            self._structure_dirty = True
+        elif kind in ("set_cell", "set_gate_type"):
+            # own delay arcs change; fanin nets see a new pin load
+            self._dirty_gates.add(data["gate"])
+            self._dirty_stars.update(data["fanins"])
+        elif kind == "set_fanins":
+            self._dirty_stars.update(data["old"])
+            self._dirty_stars.update(data["new"])
+            self._dirty_gates.add(data["gate"])
+            self._structure_dirty = True
+        elif kind == "add_input":
+            self._dirty_stars.add(data["net"])
+            self._structure_dirty = True
+        elif kind == "add_output":
+            self._dirty_stars.add(data["net"])
+        elif kind == "replace_output":
+            self._dirty_stars.add(data["old"])
+            self._dirty_stars.add(data["new"])
+        elif kind == "restore":
+            # a snapshot rollback, delivered as an exact gate diff
+            if data["io_changed"]:
+                self._needs_full = True
+                return
+            for name, fanins in data["removed"]:
+                self._dead.add(name)
+                self._dirty_stars.discard(name)
+                self._dirty_gates.discard(name)
+                self._dirty_stars.update(fanins)
+            for name, fanins in data["added"]:
+                self._dead.discard(name)
+                self._dirty_stars.add(name)
+                self._dirty_stars.update(fanins)
+                self._dirty_gates.add(name)
+            for name, old_fanins, new_fanins in data["changed"]:
+                self._dirty_gates.add(name)
+                self._dirty_stars.update(old_fanins)
+                self._dirty_stars.update(new_fanins)
+            self._structure_dirty = True
+        else:
+            # untracked mutation: all cached timing is suspect
+            self._needs_full = True
 
     # ------------------------------------------------------------------
     # full analysis
@@ -106,12 +236,22 @@ class TimingEngine:
             self.max_delay = max(self.max_delay, rise + po_delay,
                                  fall + po_delay)
         target = self.period if self.period is not None else self.max_delay
-        self._backward_required(order, target)
+        self._backward_required(order)
+        self._fold_slacks(target)
         self._analyzed_version = network.version
+        self.stats.full_analyses += 1
+        self._clear_dirty()
 
     def is_fresh(self) -> bool:
         """True when the cached analysis matches the network version."""
         return self._analyzed_version == self.network.version
+
+    def _clear_dirty(self) -> None:
+        self._dirty_stars.clear()
+        self._dirty_gates.clear()
+        self._dead.clear()
+        self._structure_dirty = False
+        self._needs_full = False
 
     def _ensure_star(self, net: str) -> StarNet:
         star = self.stars.get(net)
@@ -121,6 +261,7 @@ class TimingEngine:
                 po_pad_cap=self.po_pad_cap,
             )
             self.stars[net] = star
+            self.stats.stars_built += 1
         return star
 
     def _cell_of(self, name: str) -> Cell | None:
@@ -131,6 +272,7 @@ class TimingEngine:
 
     def _gate_arrival(self, name: str) -> tuple[float, float]:
         """Arrival (rise, fall) at a gate's output net."""
+        self.stats.arrival_evals += 1
         network = self.network
         gate = network.gate(name)
         if gate.gtype in CONST_TYPES:
@@ -166,12 +308,14 @@ class TimingEngine:
                 return sink.wire_delay
         return 0.0
 
-    def _backward_required(self, order: list[str], target: float) -> None:
-        """Per-transition required times under the timing target.
+    def _backward_required(self, order: list[str]) -> None:
+        """Per-transition required times relative to a zero target.
 
         Unateness couples transitions the same way the forward pass
         does, so on the critical path required meets arrival exactly
-        (zero slack at the default period).
+        (zero slack at the default period).  The pairs stored in
+        ``_req0`` are offsets from the target: absolute required times
+        and slacks are derived by :meth:`_fold_slacks`.
         """
         network = self.network
         INF = float("inf")
@@ -182,10 +326,11 @@ class TimingEngine:
             po_delay = self._po_wire_delay(output)
             old_rise, old_fall = req[output]
             req[output] = (
-                min(old_rise, target - po_delay),
-                min(old_fall, target - po_delay),
+                min(old_rise, -po_delay),
+                min(old_fall, -po_delay),
             )
         for name in reversed(order):
+            self.stats.required_evals += 1
             gate = network.gate(name)
             cell = self._cell_of(name)
             if cell is None:
@@ -207,14 +352,195 @@ class TimingEngine:
                     min(old_rise, pin_rise_budget - wire),
                     min(old_fall, pin_fall_budget - wire),
                 )
-        self.required = {
-            net: min(pair) for net, pair in req.items()
-        }
-        self.slack = {}
-        for net in network.nets():
-            rise, fall = self.arrival.get(net, (0.0, 0.0))
-            req_rise, req_fall = req[net]
-            self.slack[net] = min(req_rise - rise, req_fall - fall)
+        self._req0 = req
+
+    def _fold_slacks(self, target: float) -> None:
+        """Derive absolute required times and slacks from ``_req0``."""
+        self._target = target
+        required: dict[str, float] = {}
+        slack: dict[str, float] = {}
+        arrival = self.arrival
+        for net, (req_rise, req_fall) in self._req0.items():
+            required[net] = min(req_rise, req_fall) + target
+            rise, fall = arrival.get(net, (0.0, 0.0))
+            slack[net] = min(req_rise - rise, req_fall - fall) + target
+        self.required = required
+        self.slack = slack
+
+    # ------------------------------------------------------------------
+    # incremental update
+    # ------------------------------------------------------------------
+    def invalidate(self, nets: Iterable[str]) -> None:
+        """Mark nets' RC models and timing as stale.
+
+        For callers that change something the mutation events cannot
+        see (a placement tweak, an external edit): the named nets'
+        stars are rebuilt and their drivers re-evaluated on the next
+        :meth:`apply_and_update` / :meth:`refresh`.
+        """
+        network = self.network
+        for net in nets:
+            self._dirty_stars.add(net)
+            if net in network and not network.is_input(net):
+                self._dirty_gates.add(net)
+
+    def refresh(self) -> None:
+        """Bring cached timing up to date, incrementally when possible."""
+        if self._needs_full or self._analyzed_version < 0:
+            self.analyze()
+        elif (
+            not self.is_fresh()
+            or self._dirty_stars or self._dirty_gates or self._dead
+        ):
+            self.apply_and_update()
+
+    def apply_and_update(self, footprint: Iterable[str] | None = None) -> None:
+        """Propagate committed network changes through cached timing.
+
+        Re-propagates arrivals through the transitive fanout of the
+        changed nets only (levelized worklist, early termination on
+        convergence) and required times through the affected fanin
+        frontier; star models of untouched nets are reused.  The
+        result matches a fresh :meth:`analyze` exactly.  *footprint*
+        optionally names extra nets to invalidate (see
+        :meth:`invalidate`).
+        """
+        if footprint is not None:
+            self.invalidate(footprint)
+        if self._needs_full or self._analyzed_version < 0:
+            self.analyze()
+            return
+        network = self.network
+        self.stats.incremental_updates += 1
+        # 0. forget removed nets
+        for net in self._dead:
+            self.arrival.pop(net, None)
+            self._req0.pop(net, None)
+            self.required.pop(net, None)
+            self.slack.pop(net, None)
+            self.stars.pop(net, None)
+            self._levels.pop(net, None)
+        # 1. place any gates rewiring created (inverters nestle at
+        #    their sink, perturbing nothing)
+        self.placement.ensure_covered(network)
+        # 2. structural caches
+        if self._structure_dirty:
+            self._levels = {net: 0 for net in network.inputs}
+            for name in network.topo_order():
+                gate = network.gate(name)
+                self._levels[name] = 1 + max(
+                    (self._levels[f] for f in gate.fanins), default=0
+                )
+        levels = self._levels
+        # 3. rebuild the RC models of touched nets
+        rebuilt: set[str] = set()
+        for net in self._dirty_stars:
+            if net not in network:
+                continue
+            self.stars.pop(net, None)
+            self._ensure_star(net)
+            rebuilt.add(net)
+        for pi in network.inputs:
+            if pi not in self.arrival:
+                self.arrival[pi] = (0.0, 0.0)
+        # 4. forward: re-propagate arrivals through the affected fanout
+        seeds: set[str] = set()
+        for net in rebuilt:
+            if not network.is_input(net):
+                seeds.add(net)                  # driver sees a new load
+            for sink in self.stars[net].sinks:
+                if sink.pin is not None:
+                    seeds.add(sink.pin.gate)    # sink wire delay moved
+        for name in self._dirty_gates:
+            if name in network and not network.is_input(name):
+                seeds.add(name)
+        heap = [(levels.get(name, 0), name) for name in seeds]
+        heapq.heapify(heap)
+        done: set[str] = set()
+        while heap:
+            _, name = heapq.heappop(heap)
+            if name in done:
+                continue
+            done.add(name)
+            new_arrival = self._gate_arrival(name)
+            if self.arrival.get(name) != new_arrival:
+                self.arrival[name] = new_arrival
+                for pin in network.fanout(name):
+                    if pin.gate not in done:
+                        heapq.heappush(
+                            heap, (levels.get(pin.gate, 0), pin.gate)
+                        )
+        # 5. critical path target
+        self.max_delay = 0.0
+        for output in network.outputs:
+            rise, fall = self.arrival[output]
+            po_delay = self._po_wire_delay(output)
+            self.max_delay = max(self.max_delay, rise + po_delay,
+                                 fall + po_delay)
+        target = self.period if self.period is not None else self.max_delay
+        # 6. backward: re-propagate required through the fanin frontier
+        po_nets = set(network.outputs)
+        bseeds: set[str] = set()
+        for net in rebuilt:
+            bseeds.add(net)
+            if not network.is_input(net):
+                bseeds.update(network.gate(net).fanins)
+        for name in self._dirty_gates:
+            if name not in network:
+                continue
+            bseeds.add(name)
+            if not network.is_input(name):
+                bseeds.update(network.gate(name).fanins)
+        bheap = [(-levels.get(net, 0), net) for net in bseeds]
+        heapq.heapify(bheap)
+        bdone: set[str] = set()
+        while bheap:
+            _, net = heapq.heappop(bheap)
+            if net in bdone:
+                continue
+            bdone.add(net)
+            pair = self._recompute_req0(net, po_nets)
+            if self._req0.get(net) != pair:
+                self._req0[net] = pair
+                if not network.is_input(net):
+                    for fanin in network.gate(net).fanins:
+                        if fanin not in bdone:
+                            heapq.heappush(
+                                bheap, (-levels.get(fanin, 0), fanin)
+                            )
+        # 7. fold slacks against the (possibly shifted) target
+        self._fold_slacks(target)
+        self._analyzed_version = network.version
+        self._clear_dirty()
+
+    def _recompute_req0(self, net: str, po_nets: set[str]) -> tuple[float, float]:
+        """Zero-target required pair at *net* from its consumers' cache."""
+        self.stats.required_evals += 1
+        network = self.network
+        INF = float("inf")
+        rise = fall = INF
+        if net in po_nets:
+            po_delay = self._po_wire_delay(net)
+            rise = fall = -po_delay
+        for pin in network.fanout(net):
+            consumer = network.gate(pin.gate)
+            out_pair = self._req0.get(pin.gate)
+            if out_pair is None:
+                continue
+            cell = self._cell_of(pin.gate)
+            if cell is None:
+                d_rise = d_fall = 0.0
+            else:
+                load = self.stars[pin.gate].total_cap
+                d_rise = cell.delay(load, "rise")
+                d_fall = cell.delay(load, "fall")
+            pin_rise_budget, pin_fall_budget = _required_through(
+                consumer.gtype, out_pair[0] - d_rise, out_pair[1] - d_fall
+            )
+            wire = self.stars[net].sink_delay(pin)
+            rise = min(rise, pin_rise_budget - wire)
+            fall = min(fall, pin_fall_budget - wire)
+        return (rise, fall)
 
     # ------------------------------------------------------------------
     # reporting

@@ -14,7 +14,7 @@ from repro.network.netlist import Pin
 from repro.symmetry.supergate import extract_supergates
 from repro.symmetry.swap import enumerate_swaps
 
-from conftest import random_network
+from helpers import random_network
 
 
 def simple_and():

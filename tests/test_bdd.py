@@ -15,7 +15,7 @@ from repro.logic.bdd import (
 from repro.logic.simulate import table_mask, truth_tables, variable_word
 from repro.logic.truthtable import is_es, is_nes
 
-from conftest import random_network
+from helpers import random_network
 
 
 def bdd_from_table(manager: BddManager, table: int, names: list[str]) -> int:

@@ -11,7 +11,7 @@ from repro.symmetry.cross import (
 from repro.symmetry.supergate import extract_supergates
 from repro.symmetry.verify import swap_preserves_outputs
 
-from conftest import fig3_network, random_network
+from helpers import fig3_network, random_network
 
 
 def test_fig3_cross_swap_found_and_preserves():

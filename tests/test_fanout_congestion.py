@@ -13,7 +13,7 @@ from repro.rapids.fanout import (
 from repro.synth.mapper import map_network
 from repro.verify.equiv import networks_equivalent
 
-from conftest import random_network
+from helpers import random_network
 
 
 def hub_network(library, sinks=20):

@@ -9,7 +9,7 @@ from repro.logic.simulate import truth_tables
 from repro.network.builder import NetworkBuilder
 from repro.network.gatetype import GateType
 
-from conftest import random_network
+from helpers import random_network
 
 
 def test_implies_inputs_table():

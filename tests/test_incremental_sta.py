@@ -1,0 +1,166 @@
+"""Incremental STA must match a fresh full analysis, always.
+
+Property: after an arbitrary sequence of committed moves (pin swaps,
+inverting swaps, gate resizes, dead-gate sweeps), the incrementally
+maintained engine reports every net's arrival, required time and slack
+within 1e-9 of a freshly constructed full ``analyze()`` — while doing
+its work through ``apply_and_update`` only (exactly one full analysis
+for the initial state).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.network.transform import sweep
+from repro.place.placer import place
+from repro.rapids.moves import bind_new_inverters
+from repro.symmetry.supergate import extract_supergates
+from repro.symmetry.swap import apply_swap, enumerate_swaps
+from repro.synth.mapper import map_network
+from repro.timing.sta import TimingEngine
+
+from helpers import random_network
+
+TOL = 1e-9
+
+
+def prepared(seed, library, gates=35):
+    net = random_network(seed, num_gates=gates, num_outputs=4)
+    map_network(net, library)
+    placement = place(net, library, seed=seed)
+    return net, placement
+
+
+def assert_matches_fresh(engine, network, placement, library, context=""):
+    """Every cached timing quantity equals a from-scratch analysis."""
+    fresh = TimingEngine(network, placement, library, period=engine.period)
+    fresh.analyze()
+    assert engine.max_delay == pytest.approx(
+        fresh.max_delay, abs=TOL
+    ), context
+    assert set(engine.arrival) == set(fresh.arrival), context
+    for net, (rise, fall) in fresh.arrival.items():
+        got_rise, got_fall = engine.arrival[net]
+        assert got_rise == pytest.approx(rise, abs=TOL), (context, net)
+        assert got_fall == pytest.approx(fall, abs=TOL), (context, net)
+    assert set(engine.required) == set(fresh.required), context
+    for net, req in fresh.required.items():
+        assert engine.required[net] == pytest.approx(
+            req, abs=TOL
+        ), (context, net)
+    assert set(engine.slack) == set(fresh.slack), context
+    for net, slk in fresh.slack.items():
+        assert engine.slack[net] == pytest.approx(slk, abs=TOL), (context, net)
+
+
+def random_move(network, library, rng):
+    """Commit one random resize or (possibly inverting) pin swap."""
+    if rng.random() < 0.5:
+        sized = [
+            gate for gate in network.gates()
+            if gate.cell is not None
+            and len(library.sizes_of(library.cell(gate.cell))) > 1
+        ]
+        if sized:
+            gate = rng.choice(sized)
+            alt = rng.choice([
+                cell for cell in library.sizes_of(library.cell(gate.cell))
+                if cell.name != gate.cell
+            ])
+            network.set_cell(gate.name, alt.name)
+            return f"resize {gate.name} -> {alt.name}"
+    swaps = [
+        swap
+        for sg in extract_supergates(network).nontrivial()
+        for swap in enumerate_swaps(sg, leaves_only=True)
+    ]
+    if not swaps:
+        return None
+    swap = rng.choice(swaps)
+    before = len(network)
+    apply_swap(network, swap)
+    added = len(network) - before
+    if added > 0:
+        bind_new_inverters(network, library, network.recent_gates(added))
+    return f"swap {swap.pin_a}<->{swap.pin_b} inv={swap.inverting}"
+
+
+@pytest.mark.parametrize("seed", [1, 2, 5, 9, 12])
+def test_incremental_matches_full_after_random_moves(seed, library):
+    net, placement = prepared(seed, library)
+    engine = TimingEngine(net, placement, library)
+    engine.analyze()
+    rng = random.Random(1000 + seed)
+    moves = 0
+    for step in range(20):
+        label = random_move(net, library, rng)
+        if label is None:
+            break
+        moves += 1
+        engine.apply_and_update()
+        assert_matches_fresh(
+            engine, net, placement, library, context=f"step {step}: {label}"
+        )
+    assert moves, "property test never exercised a move"
+    # the whole sequence must have been served incrementally
+    assert engine.stats.full_analyses == 1
+    assert engine.stats.incremental_updates == moves
+
+
+def test_incremental_handles_gate_removal(library):
+    net, placement = prepared(21, library)
+    engine = TimingEngine(net, placement, library)
+    engine.analyze()
+    rng = random.Random(77)
+    # inverting swaps leave cancelled inverters dangling; sweep removes
+    # them through remove_gate events the engine must absorb
+    for _ in range(8):
+        random_move(net, library, rng)
+    swept = sweep(net)
+    engine.apply_and_update()
+    assert_matches_fresh(
+        engine, net, placement, library, context=f"after sweep ({swept})"
+    )
+    assert engine.stats.full_analyses == 1
+
+
+def test_incremental_with_explicit_period(library):
+    net, placement = prepared(33, library)
+    probe = TimingEngine(net, placement, library)
+    probe.analyze()
+    engine = TimingEngine(
+        net, placement, library, period=probe.max_delay + 0.5
+    )
+    engine.analyze()
+    rng = random.Random(5)
+    for _ in range(6):
+        random_move(net, library, rng)
+        engine.apply_and_update()
+    assert_matches_fresh(engine, net, placement, library, context="period")
+
+
+def test_footprint_argument_invalidates(library):
+    """apply_and_update(footprint) re-models the named nets."""
+    net, placement = prepared(41, library)
+    engine = TimingEngine(net, placement, library)
+    engine.analyze()
+    victim = next(iter(net.gate_names()))
+    x, y = placement.locations[victim]
+    placement.locations[victim] = (x + 150.0, y + 75.0)
+    # the engine cannot see placement edits; the caller names the nets
+    touched = {victim, *net.gate(victim).fanins}
+    engine.apply_and_update(footprint=touched)
+    assert_matches_fresh(engine, net, placement, library, context="move cell")
+
+
+def test_refresh_full_fallback_on_untracked_mutation(library):
+    net, placement = prepared(55, library)
+    engine = TimingEngine(net, placement, library)
+    engine.analyze()
+    net._touch()  # untracked mutation: engine must fall back to full STA
+    engine.refresh()
+    assert engine.stats.full_analyses == 2
+    assert_matches_fresh(engine, net, placement, library, context="fallback")

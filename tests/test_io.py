@@ -8,7 +8,7 @@ from repro.network.blif import blif_text, parse_blif
 from repro.network.netlist import NetworkError
 from repro.verify.equiv import networks_equivalent
 
-from conftest import random_network
+from helpers import random_network
 
 
 def test_blif_round_trip_random_networks():

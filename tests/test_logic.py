@@ -33,7 +33,7 @@ from repro.logic.values import (
 )
 from repro.network.builder import NetworkBuilder
 
-from conftest import random_network
+from helpers import random_network
 
 
 # ----------------------------------------------------------------------

@@ -5,7 +5,7 @@ import pytest
 from repro.network.gatetype import GateType
 from repro.network.netlist import Network, NetworkError, Pin
 
-from conftest import random_network
+from helpers import random_network
 
 
 def build_simple() -> Network:

@@ -18,7 +18,7 @@ from repro.place.placement import (
 from repro.place.placer import place
 from repro.synth.mapper import map_network
 
-from conftest import random_network
+from helpers import random_network
 
 
 # ----------------------------------------------------------------------

@@ -16,7 +16,7 @@ from repro.synth.mapper import map_network
 from repro.timing.sta import TimingEngine
 from repro.verify.equiv import networks_equivalent
 
-from conftest import random_network
+from helpers import random_network
 
 
 def prepared(seed, library, gates=45):
@@ -114,6 +114,87 @@ def test_fanout_profile(library):
     profile = fanout_profile(net)
     assert profile["max_fanout"] >= 1
     assert profile["nets_over_100"] >= 0
+
+
+def test_supergate_cache_matches_fresh_extraction(library):
+    """Partial invalidation yields the same partition as re-extraction."""
+    import random
+
+    from repro.network.transform import sweep
+    from repro.rapids.engine import SupergateCache
+    from repro.rapids.moves import bind_new_inverters
+    from repro.symmetry.swap import apply_swap, enumerate_swaps
+
+    def partition_signature(sgn):
+        return {
+            root: (
+                sg.sg_class,
+                sg.root_value,
+                frozenset(sg.covered),
+                tuple(sorted(
+                    (leaf.pin, leaf.net, leaf.imp_value, leaf.depth)
+                    for leaf in sg.leaves
+                )),
+            )
+            for root, sg in sgn.supergates.items()
+        }
+
+    for seed in (23, 29, 31):
+        net, _ = prepared(seed, library)
+        cache = SupergateCache(net)
+        rng = random.Random(seed)
+        for step in range(12):
+            sgn = cache.get()
+            fresh = extract_supergates(net)
+            assert sgn.owner == fresh.owner, (seed, step)
+            assert partition_signature(sgn) == partition_signature(fresh)
+            swaps = [
+                swap
+                for sg in sgn.nontrivial()
+                for swap in enumerate_swaps(sg, leaves_only=True)
+            ]
+            if not swaps:
+                break
+            swap = rng.choice(swaps)
+            before = len(net)
+            apply_swap(net, swap)
+            added = len(net) - before
+            if added > 0:
+                bind_new_inverters(net, library, net.recent_gates(added))
+            if step % 4 == 3:
+                sweep(net)
+        # the whole walk must have been served by partial refreshes
+        assert cache.full_extractions == 1
+        assert cache.partial_refreshes >= 1
+
+
+def test_supergate_cache_sees_class_changing_folds(library):
+    """A gate whose class changes must re-open its consumers' growth.
+
+    Constant folding turns XOR(a, CONST1) into INV(a) via
+    set_fanins + set_gate_type; the inverter is now absorbable by the
+    downstream AND supergate, so the cached partition must re-grow
+    the consumer — not just the folded gate's own supergate.
+    """
+    from repro.network.builder import NetworkBuilder
+    from repro.network.gatetype import GateType
+    from repro.network.transform import propagate_constants
+    from repro.rapids.engine import SupergateCache
+
+    builder = NetworkBuilder("fold")
+    a, x = builder.inputs(2)
+    net = builder.build()
+    net.add_gate("one", GateType.CONST1)
+    net.add_gate("g", GateType.XOR, [a, "one"])
+    net.add_gate("r", GateType.AND, ["g", x])
+    net.add_output("r")
+    cache = SupergateCache(net)
+    cache.get()
+    propagate_constants(net)
+    sgn = cache.get()
+    fresh = extract_supergates(net)
+    assert sgn.owner == fresh.owner
+    assert sgn.owner["g"] == "r"  # the inverter was absorbed downstream
 
 
 def test_combined_mode_superset_of_sites(library):

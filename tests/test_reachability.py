@@ -11,7 +11,7 @@ from repro.symmetry.reachability import (
 )
 from repro.symmetry.verify import pin_pair_symmetry
 
-from conftest import random_network
+from helpers import random_network
 
 
 def test_and_or_reachability_basic():

@@ -8,7 +8,7 @@ from repro.sizing.moves import ResizeMove, resize_sites
 from repro.synth.mapper import map_network, network_area
 from repro.verify.equiv import networks_equivalent
 
-from conftest import random_network
+from helpers import random_network
 
 
 def prepared(seed, library, gates=40):

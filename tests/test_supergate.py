@@ -17,7 +17,7 @@ from repro.symmetry.supergate import (
     grow_supergate,
 )
 
-from conftest import fig2_network, random_network
+from helpers import fig2_network, random_network
 
 
 def test_fig2_supergate():

@@ -18,7 +18,7 @@ from repro.symmetry.verify import (
     swap_preserves_outputs,
 )
 
-from conftest import fig2_network, random_network
+from helpers import fig2_network, random_network
 
 
 def test_fig2_swap_kinds():

@@ -11,7 +11,7 @@ from repro.symmetry.redundancy import (
 )
 from repro.verify.equiv import networks_equivalent
 
-from conftest import random_network
+from helpers import random_network
 
 
 def fig1a_network():

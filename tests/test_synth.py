@@ -17,7 +17,7 @@ from repro.synth.phase import phase_map
 from repro.synth.strash import script_rugged, simplify_trivial, strash
 from repro.verify.equiv import networks_equivalent
 
-from conftest import random_network
+from helpers import random_network
 
 _MAPPED_TYPES = frozenset(
     {

@@ -10,7 +10,7 @@ from repro.synth.mapper import map_network
 from repro.timing.netmodel import PO_PAD_CAP, build_star
 from repro.timing.sta import TimingEngine
 
-from conftest import random_network
+from helpers import random_network
 
 
 def chain_network(library):

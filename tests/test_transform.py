@@ -19,7 +19,7 @@ from repro.network.transform import (
 )
 from repro.verify.equiv import networks_equivalent
 
-from conftest import random_network
+from helpers import random_network
 
 
 def test_insert_inverter_flips_pin_function():

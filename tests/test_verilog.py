@@ -7,7 +7,7 @@ from repro.network.netlist import NetworkError
 from repro.network.verilog import parse_verilog, verilog_text
 from repro.network.validate import check_network
 
-from conftest import random_network
+from helpers import random_network
 
 
 def test_round_trip_random_networks():

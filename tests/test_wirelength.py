@@ -13,7 +13,7 @@ from repro.symmetry.swap import enumerate_swaps
 from repro.synth.mapper import map_network
 from repro.verify.equiv import networks_equivalent
 
-from conftest import random_network
+from helpers import random_network
 
 
 def prepared(seed, library, gates=50):
