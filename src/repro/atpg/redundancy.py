@@ -6,13 +6,39 @@ the paper's "easy" detection shortcuts: Fig. 1 events found during
 supergate extraction can be confirmed here, and the test suite checks
 that every injected redundancy of ``repro.suite.redundant`` is indeed
 untestable.
+
+Testability (the *negative* answer) is cheap: a parallel-pattern fault
+simulation of one random block (``repro.logic.simcore.faultsim``)
+proves most testable faults detected without ever entering the PODEM
+search, so the backtracking engine only runs for the candidates that
+might actually be redundant.  Set ``random_filter=False`` to force the
+historical search-only behaviour.
 """
 
 from __future__ import annotations
 
+from ..logic.simcore import FaultSimulator, random_pattern_block
 from ..network.netlist import Network, Pin
 from .faults import Fault
 from .podem import find_test
+
+
+def _randomly_detected(
+    network: Network,
+    fault: Fault,
+    width: int = 64,
+    rounds: int = 2,
+    backend: str = "auto",
+) -> bool:
+    """One vectorized random block: does it already detect the fault?"""
+    if not network.inputs:
+        return False
+    assignments, num_patterns = random_pattern_block(
+        network.inputs, width=width, rounds=rounds
+    )
+    simulator = FaultSimulator(network, backend)
+    simulator.load_patterns(assignments, num_patterns)
+    return bool(simulator.detecting_patterns(fault))
 
 
 def prove_branch_redundant(
@@ -20,6 +46,8 @@ def prove_branch_redundant(
     pin: Pin,
     stuck_at: int,
     max_backtracks: int = 20000,
+    random_filter: bool = True,
+    backend: str = "auto",
 ) -> bool | None:
     """Is the branch feeding *pin* stuck-at-*stuck_at* untestable?
 
@@ -27,10 +55,11 @@ def prove_branch_redundant(
     budget exhausted.
     """
     net = network.fanin_net(pin)
+    fault = Fault(net=net, stuck_at=stuck_at, pin=pin)
+    if random_filter and _randomly_detected(network, fault, backend=backend):
+        return False
     result = find_test(
-        network,
-        fault=Fault(net=net, stuck_at=stuck_at, pin=pin),
-        max_backtracks=max_backtracks,
+        network, fault=fault, max_backtracks=max_backtracks
     )
     if result.test is not None:
         return False
@@ -44,12 +73,15 @@ def prove_stem_redundant(
     net: str,
     stuck_at: int,
     max_backtracks: int = 20000,
+    random_filter: bool = True,
+    backend: str = "auto",
 ) -> bool | None:
     """Is the stem of *net* stuck-at-*stuck_at* untestable?"""
+    fault = Fault(net=net, stuck_at=stuck_at)
+    if random_filter and _randomly_detected(network, fault, backend=backend):
+        return False
     result = find_test(
-        network,
-        fault=Fault(net=net, stuck_at=stuck_at),
-        max_backtracks=max_backtracks,
+        network, fault=fault, max_backtracks=max_backtracks
     )
     if result.test is not None:
         return False
@@ -62,16 +94,34 @@ def untestable_fault_count(
     network: Network,
     max_faults: int | None = None,
     max_backtracks: int = 4000,
+    random_filter: bool = True,
+    backend: str = "auto",
 ) -> dict[str, int]:
-    """Census of untestable stem faults (slow; for small circuits)."""
+    """Census of untestable stem faults.
+
+    With *random_filter* (the default) one parallel-pattern random
+    block classifies the bulk of the fault list as testable in a single
+    vectorized pass; PODEM examines only the survivors.  Faults the
+    filter detects are testable by construction, so the census can only
+    move ``undecided`` verdicts to ``testable`` relative to the
+    search-only baseline.
+    """
     from .faults import all_faults
 
     counts = {"testable": 0, "untestable": 0, "undecided": 0}
-    examined = 0
-    for fault in all_faults(network, include_branches=False):
-        if max_faults is not None and examined >= max_faults:
-            break
-        examined += 1
+    examined = list(all_faults(network, include_branches=False))
+    if max_faults is not None:
+        examined = examined[:max_faults]
+    if random_filter and examined and network.inputs:
+        assignments, num_patterns = random_pattern_block(
+            network.inputs, width=64, rounds=2
+        )
+        simulator = FaultSimulator(network, backend)
+        simulator.load_patterns(assignments, num_patterns)
+        outcome = simulator.run(examined)
+        counts["testable"] += len(outcome.detected)
+        examined = outcome.undetected
+    for fault in examined:
         result = find_test(
             network, fault=fault, max_backtracks=max_backtracks
         )

@@ -1,5 +1,23 @@
-"""Logic substrate: values, simulation, truth tables, BDDs, implication."""
+"""Logic substrate: values, simulation, truth tables, BDDs, implication.
 
+Bit-parallel evaluation has two tiers: :mod:`repro.logic.simulate` is
+the simple per-call reference (walk the network, bigint words), and
+:mod:`repro.logic.simcore` is the compiled vectorized core (flattened
+index arrays, pluggable bigint / numpy backends, incremental
+resimulation, parallel-pattern fault simulation) that the hot paths —
+equivalence filtering, symmetry verification, ATPG — run on.
+"""
+
+from .simcore import (
+    CompiledNetwork,
+    FaultSimulator,
+    SimEngine,
+    compile_network,
+    fault_simulate,
+    get_compiled,
+    make_backend,
+    numpy_available,
+)
 from .values import (
     Value,
     and_values,
@@ -41,10 +59,18 @@ from .implication import (
 
 __all__ = [
     "BddManager",
+    "CompiledNetwork",
+    "FaultSimulator",
     "ImplicationResult",
     "ONE",
+    "SimEngine",
     "Value",
     "ZERO",
+    "compile_network",
+    "fault_simulate",
+    "get_compiled",
+    "make_backend",
+    "numpy_available",
     "all_symmetric_pairs",
     "and_values",
     "backward_imply",

@@ -1,0 +1,59 @@
+"""Compiled, vectorized simulation core with pluggable backends.
+
+The subsystem the hot paths of this repository stand on:
+
+* :mod:`compiled` — one-time flattening of a ``Network`` into
+  topologically ordered opcode / fanin-index arrays (:func:`get_compiled`
+  caches per network, invalidated by the mutation-version counter);
+* :mod:`backends` — the evaluation strategies: ``bigint`` (the
+  historical arbitrary-precision reference) and ``numpy`` (dense
+  ``uint64`` blocks, whole pattern batches per vectorized sweep);
+* :mod:`engine` — :class:`SimEngine`, which keeps state alive across
+  calls and resimulates *incrementally* after rewiring moves via the
+  network mutation-event hook;
+* :mod:`faultsim` — parallel-pattern stuck-at fault simulation with
+  sparse single-fault propagation, the batch fault-dropper behind ATPG
+  and redundancy proofs.
+
+Invalidation contract: any ``Network`` mutation bumps the version and
+emits a typed event.  Stateless helpers (``get_compiled``,
+``fault_simulate``) revalidate by version; a ``SimEngine`` listens to
+events, patches pure pin rewires into its compiled form in place and
+falls back to recompile + full sweep for structural changes.
+"""
+
+from .backends import (
+    BigintBackend,
+    NumpyBackend,
+    SimBackend,
+    eval_word,
+    make_backend,
+    numpy_available,
+)
+from .compiled import CompiledNetwork, compile_network, get_compiled
+from .engine import SimEngine
+from .faultsim import (
+    FaultSimReport,
+    FaultSimulator,
+    fault_simulate,
+    pack_tests,
+    random_pattern_block,
+)
+
+__all__ = [
+    "BigintBackend",
+    "CompiledNetwork",
+    "FaultSimReport",
+    "FaultSimulator",
+    "NumpyBackend",
+    "SimBackend",
+    "SimEngine",
+    "compile_network",
+    "eval_word",
+    "fault_simulate",
+    "get_compiled",
+    "make_backend",
+    "numpy_available",
+    "pack_tests",
+    "random_pattern_block",
+]

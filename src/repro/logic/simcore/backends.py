@@ -1,0 +1,337 @@
+"""Pluggable evaluation backends for the compiled simulation core.
+
+A backend owns the *representation* of a simulation state — one word of
+``num_patterns`` bits per net — and knows how to run a forward sweep
+over a :class:`~repro.logic.simcore.compiled.CompiledNetwork`:
+
+* :class:`BigintBackend` keeps one arbitrary-precision Python integer
+  per net, exactly like the historical :mod:`repro.logic.simulate`
+  evaluator.  It is the reference backend: simple, dependency-free and
+  bit-exact by construction.
+* :class:`NumpyBackend` packs patterns into a dense ``uint64`` block of
+  shape ``(num_nets, num_words)`` and evaluates every gate as a
+  vectorized bitwise op across all words at once — multi-word, so a
+  single sweep can carry far more than 64 patterns.
+
+Both backends expose the same small surface (make state, load/read
+bigint words at the boundary, full sweep, single-gate eval), and both
+produce identical :func:`read` results for identical inputs — the
+property ``tests/test_simcore.py`` checks bit-for-bit.
+
+Words crossing the backend boundary are always plain Python integers
+(bit ``k`` = pattern ``k``), so callers never see the representation.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Protocol
+
+from .compiled import (
+    CompiledNetwork,
+    OP_AND,
+    OP_BUF,
+    OP_CONST0,
+    OP_CONST1,
+    OP_OR,
+    OP_XOR,
+)
+
+try:  # numpy is an optional accelerator; the bigint backend needs nothing
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only on minimal installs
+    _np = None
+
+
+def eval_word(op: int, inv: bool, words: list[int], mask: int) -> int:
+    """Evaluate one compiled opcode over bigint words (reference op)."""
+    if op == OP_CONST0:
+        acc = 0
+    elif op == OP_CONST1:
+        acc = mask
+    elif op == OP_AND:
+        acc = mask
+        for word in words:
+            acc &= word
+    elif op == OP_OR:
+        acc = 0
+        for word in words:
+            acc |= word
+    elif op == OP_XOR:
+        acc = 0
+        for word in words:
+            acc ^= word
+    else:  # OP_BUF
+        acc = words[0]
+    if inv:
+        acc ^= mask
+    return acc & mask
+
+
+class SimBackend(Protocol):
+    """What the engine needs from an evaluation backend."""
+
+    name: str
+
+    def make_state(self, compiled: CompiledNetwork, num_patterns: int): ...
+
+    def load(self, state, index: int, word: int) -> None: ...
+
+    def read(self, state, index: int) -> int: ...
+
+    def full_sweep(self, compiled: CompiledNetwork, state) -> None: ...
+
+    def eval_gate(self, compiled: CompiledNetwork, state, position: int) -> bool: ...
+
+
+class BigintState:
+    """One arbitrary-precision integer word per net."""
+
+    __slots__ = ("words", "mask", "num_patterns")
+
+    def __init__(self, num_nets: int, num_patterns: int) -> None:
+        self.words: list[int] = [0] * num_nets
+        self.num_patterns = num_patterns
+        self.mask = (1 << num_patterns) - 1
+
+
+class BigintBackend:
+    """Reference backend: the historical bigint evaluator, index-based."""
+
+    name = "bigint"
+
+    def make_state(self, compiled: CompiledNetwork, num_patterns: int) -> BigintState:
+        return BigintState(compiled.num_nets, num_patterns)
+
+    def load(self, state: BigintState, index: int, word: int) -> None:
+        state.words[index] = word & state.mask
+
+    def read(self, state: BigintState, index: int) -> int:
+        return state.words[index]
+
+    def full_sweep(self, compiled: CompiledNetwork, state: BigintState) -> None:
+        words = state.words
+        mask = state.mask
+        base = compiled.num_inputs
+        opcode = compiled.opcode
+        invert = compiled.invert
+        offset = compiled.fanin_offset
+        flat = compiled.fanin_flat
+        for position in range(compiled.num_gates):
+            fanins = flat[offset[position]:offset[position + 1]]
+            words[base + position] = eval_word(
+                opcode[position],
+                invert[position],
+                [words[k] for k in fanins],
+                mask,
+            )
+
+    def eval_gate(
+        self, compiled: CompiledNetwork, state: BigintState, position: int
+    ) -> bool:
+        words = state.words
+        out = compiled.num_inputs + position
+        new = eval_word(
+            compiled.opcode[position],
+            compiled.invert[position],
+            [words[k] for k in compiled.fanins_of(position)],
+            state.mask,
+        )
+        if new == words[out]:
+            return False
+        words[out] = new
+        return True
+
+
+class NumpyState:
+    """Dense ``uint64`` block: one row of packed words per net.
+
+    Bits past ``num_patterns`` in the last word are kept zero (every
+    write masks the tail), so row comparisons and :meth:`read` need no
+    per-access masking.  Rows beyond ``num_nets`` are scratch slots of
+    the level-packed evaluation plan (temporaries of multi-input gates
+    decomposed into binary ops).
+    """
+
+    __slots__ = ("block", "num_patterns", "num_words", "tail_mask")
+
+    def __init__(self, num_slots: int, num_patterns: int) -> None:
+        self.num_patterns = num_patterns
+        self.num_words = max(1, -(-num_patterns // 64))
+        self.block = _np.zeros((num_slots, self.num_words), dtype=_np.uint64)
+        tail_bits = num_patterns - (self.num_words - 1) * 64
+        self.tail_mask = _np.uint64((1 << tail_bits) - 1 if tail_bits < 64 else
+                                    0xFFFF_FFFF_FFFF_FFFF)
+
+
+class _NumpyPlan:
+    """Level-packed evaluation schedule for one compiled snapshot.
+
+    Evaluating gate-by-gate wastes the vectorization on ufunc dispatch:
+    each call touches only ``num_words`` elements.  The plan therefore
+    decomposes every multi-input gate into a balanced tree of binary
+    ops (temporaries live in scratch rows past the real nets), levels
+    the resulting nodes, and groups each level's nodes by (op, invert).
+    One group — *all* same-op gates of one level — evaluates as a
+    single gather/ufunc/scatter triple across ``len(group) × num_words``
+    elements, so dispatch cost amortizes over gates as well as
+    patterns.
+    """
+
+    __slots__ = ("num_slots", "const_rows", "groups")
+
+    def __init__(self, compiled: CompiledNetwork) -> None:
+        base = compiled.num_inputs
+        level: list[int] = [0] * compiled.num_nets
+        next_slot = compiled.num_nets
+        # nodes: (op, invert, out_slot, a_slot, b_slot | -1 for copies)
+        nodes: list[tuple[int, bool, int, int, int]] = []
+        const_rows: list[tuple[int, int]] = []
+        for position in range(compiled.num_gates):
+            out = base + position
+            op = compiled.opcode[position]
+            inv = compiled.invert[position]
+            fanins = compiled.fanins_of(position)
+            if op in (OP_CONST0, OP_CONST1):
+                const_rows.append((out, op))
+                continue
+            if op == OP_BUF or len(fanins) == 1:
+                nodes.append((OP_BUF, inv, out, fanins[0], -1))
+                level[out] = level[fanins[0]] + 1
+                continue
+            current = list(fanins)
+            while len(current) > 2:
+                reduced = []
+                for k in range(0, len(current) - 1, 2):
+                    temp = next_slot
+                    next_slot += 1
+                    level.append(
+                        max(level[current[k]], level[current[k + 1]]) + 1
+                    )
+                    nodes.append((op, False, temp, current[k], current[k + 1]))
+                    reduced.append(temp)
+                if len(current) % 2:
+                    reduced.append(current[-1])
+                current = reduced
+            nodes.append((op, inv, out, current[0], current[1]))
+            level[out] = max(level[current[0]], level[current[1]]) + 1
+        self.num_slots = next_slot
+        self.const_rows = const_rows
+        buckets: dict[tuple[int, int, bool], list[tuple[int, int, int]]] = {}
+        for op, inv, out, a, b in nodes:
+            buckets.setdefault((level[out], op, inv), []).append((out, a, b))
+        self.groups = []
+        for (_, op, inv), members in sorted(buckets.items()):
+            out_idx = _np.array([m[0] for m in members], dtype=_np.intp)
+            a_idx = _np.array([m[1] for m in members], dtype=_np.intp)
+            b_idx = _np.array([m[2] for m in members], dtype=_np.intp)
+            self.groups.append((op, inv, out_idx, a_idx, b_idx))
+
+
+class NumpyBackend:
+    """Vectorized backend: whole pattern blocks, whole levels per op."""
+
+    name = "numpy"
+
+    def __init__(self) -> None:
+        if _np is None:
+            raise RuntimeError(
+                "numpy is not available; use the 'bigint' backend"
+            )
+
+    def _plan(self, compiled: CompiledNetwork) -> _NumpyPlan:
+        cached = getattr(compiled, "_numpy_plan", None)
+        if cached is not None and cached[0] == compiled.revision:
+            return cached[1]
+        plan = _NumpyPlan(compiled)
+        compiled._numpy_plan = (compiled.revision, plan)
+        return plan
+
+    def make_state(self, compiled: CompiledNetwork, num_patterns: int) -> NumpyState:
+        state = NumpyState(self._plan(compiled).num_slots, num_patterns)
+        for row, op in self._plan(compiled).const_rows:
+            if op == OP_CONST1:
+                state.block[row] = _np.uint64(0xFFFF_FFFF_FFFF_FFFF)
+                state.block[row, -1] = state.tail_mask
+        return state
+
+    def load(self, state: NumpyState, index: int, word: int) -> None:
+        mask = (1 << state.num_patterns) - 1
+        raw = (word & mask).to_bytes(state.num_words * 8, "little")
+        state.block[index] = _np.frombuffer(raw, dtype="<u8")
+
+    def read(self, state: NumpyState, index: int) -> int:
+        return int.from_bytes(
+            state.block[index].astype("<u8", copy=False).tobytes(), "little"
+        )
+
+    def _eval_into(
+        self,
+        compiled: CompiledNetwork,
+        state: NumpyState,
+        position: int,
+        out,
+    ) -> None:
+        """Evaluate one gate's block into the *out* row."""
+        block = state.block
+        op = compiled.opcode[position]
+        fanins = compiled.fanins_of(position)
+        if op == OP_CONST0:
+            out[:] = 0
+        elif op == OP_CONST1:
+            out[:] = _np.uint64(0xFFFF_FFFF_FFFF_FFFF)
+        elif op == OP_BUF or len(fanins) == 1:
+            out[:] = block[fanins[0]]
+        else:
+            func = (
+                _np.bitwise_and if op == OP_AND
+                else _np.bitwise_or if op == OP_OR
+                else _np.bitwise_xor
+            )
+            func(block[fanins[0]], block[fanins[1]], out=out)
+            for index in fanins[2:]:
+                func(out, block[index], out=out)
+        if compiled.invert[position]:
+            _np.invert(out, out=out)
+        if compiled.invert[position] or op == OP_CONST1:
+            out[-1] &= state.tail_mask
+
+    def full_sweep(self, compiled: CompiledNetwork, state: NumpyState) -> None:
+        block = state.block
+        for op, inv, out_idx, a_idx, b_idx in self._plan(compiled).groups:
+            if op == OP_BUF:
+                rows = block[a_idx]
+            else:
+                func = (
+                    _np.bitwise_and if op == OP_AND
+                    else _np.bitwise_or if op == OP_OR
+                    else _np.bitwise_xor
+                )
+                rows = func(block[a_idx], block[b_idx])
+            if inv:
+                _np.invert(rows, out=rows)
+                rows[:, -1] &= state.tail_mask
+            block[out_idx] = rows
+
+    def eval_gate(
+        self, compiled: CompiledNetwork, state: NumpyState, position: int
+    ) -> bool:
+        out = state.block[compiled.num_inputs + position]
+        old = out.copy()
+        self._eval_into(compiled, state, position, out)
+        return not _np.array_equal(old, out)
+
+
+def numpy_available() -> bool:
+    """True when the numpy accelerator can be used."""
+    return _np is not None
+
+
+def make_backend(name: str = "auto") -> SimBackend:
+    """Backend factory: ``"auto"`` prefers numpy, falls back to bigint."""
+    if name == "auto":
+        name = "numpy" if numpy_available() else "bigint"
+    if name == "numpy":
+        return NumpyBackend()
+    if name == "bigint":
+        return BigintBackend()
+    raise ValueError(f"unknown simulation backend {name!r}")

@@ -1,0 +1,207 @@
+"""Compiled network form: the Network flattened into index arrays.
+
+A :class:`CompiledNetwork` is a one-time flattening of a
+:class:`~repro.network.netlist.Network` into topologically ordered
+opcode / fanin-index / output-index arrays.  Every net gets a dense
+integer index — primary inputs first (in PI order), then gate outputs
+in topological order — so a simulation backend can hold the whole
+network state in one flat vector (a list of bigint words, or a 2-D
+``uint64`` numpy block) and evaluate it with a single forward sweep
+that never touches a dict or a Gate object.
+
+The compiled form is a *snapshot*: it records the network ``version``
+it was built from, and :func:`get_compiled` transparently recompiles
+when the network has mutated since (every mutation bumps the version
+through the PR-1 event hook, so a stale hit is impossible).  Engines
+that track mutation events can instead patch a privately owned
+instance in place — see :meth:`CompiledNetwork.patch_fanin`.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass, field
+
+from ...network.gatetype import GateType
+from ...network.netlist import Network
+
+#: Base opcodes of the compiled form.  Inversion is a separate flag so
+#: NAND compiles to ``(OP_AND, invert=True)`` exactly like the
+#: :mod:`repro.network.gatetype` algebra.
+OP_AND, OP_OR, OP_XOR, OP_BUF, OP_CONST0, OP_CONST1 = range(6)
+
+_OPCODE: dict[GateType, tuple[int, bool]] = {
+    GateType.AND: (OP_AND, False),
+    GateType.NAND: (OP_AND, True),
+    GateType.OR: (OP_OR, False),
+    GateType.NOR: (OP_OR, True),
+    GateType.XOR: (OP_XOR, False),
+    GateType.XNOR: (OP_XOR, True),
+    GateType.BUF: (OP_BUF, False),
+    GateType.INV: (OP_BUF, True),
+    GateType.CONST0: (OP_CONST0, False),
+    GateType.CONST1: (OP_CONST1, False),
+}
+
+
+@dataclass
+class CompiledNetwork:
+    """Flat, index-based snapshot of a network for vectorized sweeps.
+
+    ``num_inputs`` primary inputs occupy net indices ``0 .. P-1``; the
+    gate at topological position ``g`` drives net index ``P + g``.
+    ``fanin_flat[fanin_offset[g]:fanin_offset[g+1]]`` are gate ``g``'s
+    fanin net indices in pin order; ``fanout[i]`` lists the topological
+    positions of every gate consuming net ``i`` (branch multiplicity
+    preserved once per gate).
+    """
+
+    name: str
+    version: int
+    inputs: tuple[str, ...]
+    gate_names: tuple[str, ...]          # topological order
+    opcode: list[int]
+    invert: list[bool]
+    fanin_offset: list[int]
+    fanin_flat: list[int]
+    po_index: list[int]
+    net_index: dict[str, int]
+    fanout: list[list[int]] = field(repr=False)
+    #: bumped by every in-place patch; backends key derived plans
+    #: (e.g. the numpy level-packed schedule) against it
+    revision: int = 0
+
+    @property
+    def num_inputs(self) -> int:
+        return len(self.inputs)
+
+    @property
+    def num_gates(self) -> int:
+        return len(self.gate_names)
+
+    @property
+    def num_nets(self) -> int:
+        return len(self.inputs) + len(self.gate_names)
+
+    def fanins_of(self, position: int) -> list[int]:
+        """Fanin net indices of the gate at topological *position*."""
+        return self.fanin_flat[
+            self.fanin_offset[position]:self.fanin_offset[position + 1]
+        ]
+
+    def position_of(self, gate_name: str) -> int:
+        """Topological position of *gate_name* (its net index - P)."""
+        return self.net_index[gate_name] - len(self.inputs)
+
+    def clone(self) -> "CompiledNetwork":
+        """Private copy for in-place patching (copy-on-write).
+
+        Engines share the :func:`get_compiled` cache until their first
+        patch, then clone so concurrent engines on one network never
+        see each other's patches.
+        """
+        return CompiledNetwork(
+            name=self.name,
+            version=self.version,
+            inputs=self.inputs,
+            gate_names=self.gate_names,
+            opcode=self.opcode,          # never patched (type changes
+            invert=self.invert,          # recompile), safe to share
+            fanin_offset=self.fanin_offset,
+            fanin_flat=list(self.fanin_flat),
+            po_index=self.po_index,
+            net_index=self.net_index,
+            fanout=[list(sinks) for sinks in self.fanout],
+            revision=self.revision,
+        )
+
+    def patch_fanin(self, position: int, pin_index: int, net: str) -> bool:
+        """Point one fanin slot at a different net, in place.
+
+        Returns ``True`` when the patch keeps the stored topological
+        order valid (the new driver is compiled *before* the consumer);
+        ``False`` means the caller must recompile.  The fanout adjacency
+        is kept consistent either way.
+        """
+        new_index = self.net_index.get(net)
+        if new_index is None:
+            return False
+        slot = self.fanin_offset[position] + pin_index
+        old_index = self.fanin_flat[slot]
+        if old_index == new_index:
+            return True
+        self.fanin_flat[slot] = new_index
+        self.revision += 1
+        remaining = self.fanins_of(position)
+        if old_index not in remaining:
+            try:
+                self.fanout[old_index].remove(position)
+            except ValueError:
+                pass
+        if position not in self.fanout[new_index]:
+            self.fanout[new_index].append(position)
+        # a net index below P is a primary input; otherwise the driver
+        # must sit at an earlier topological position than the consumer
+        return new_index < self.num_inputs or (
+            new_index - self.num_inputs < position
+        )
+
+
+def compile_network(network: Network) -> CompiledNetwork:
+    """Flatten *network* into a fresh :class:`CompiledNetwork`."""
+    inputs = tuple(network.inputs)
+    order = tuple(network.topo_order())
+    net_index: dict[str, int] = {net: i for i, net in enumerate(inputs)}
+    base = len(inputs)
+    for position, name in enumerate(order):
+        net_index[name] = base + position
+    opcode: list[int] = []
+    invert: list[bool] = []
+    fanin_offset: list[int] = [0]
+    fanin_flat: list[int] = []
+    fanout: list[list[int]] = [[] for _ in range(base + len(order))]
+    for position, name in enumerate(order):
+        gate = network.gate(name)
+        op, inv = _OPCODE[gate.gtype]
+        opcode.append(op)
+        invert.append(inv)
+        for fanin in gate.fanins:
+            index = net_index[fanin]
+            fanin_flat.append(index)
+            sinks = fanout[index]
+            if not sinks or sinks[-1] != position:
+                sinks.append(position)
+        fanin_offset.append(len(fanin_flat))
+    return CompiledNetwork(
+        name=network.name,
+        version=network.version,
+        inputs=inputs,
+        gate_names=order,
+        opcode=opcode,
+        invert=invert,
+        fanin_offset=fanin_offset,
+        fanin_flat=fanin_flat,
+        po_index=[net_index[net] for net in network.outputs],
+        net_index=net_index,
+        fanout=fanout,
+    )
+
+
+_cache: "weakref.WeakKeyDictionary[Network, CompiledNetwork]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def get_compiled(network: Network) -> CompiledNetwork:
+    """Compiled form of *network*, cached per network object.
+
+    The cache is invalidated by the network's version counter, which
+    every mutation bumps (including untracked ones, via the catch-all
+    ``"unknown"`` event) — a hit is therefore always current.
+    """
+    cached = _cache.get(network)
+    if cached is not None and cached.version == network.version:
+        return cached
+    compiled = compile_network(network)
+    _cache[network] = compiled
+    return compiled

@@ -1,0 +1,221 @@
+"""Parallel-pattern stuck-at fault simulation on the compiled core.
+
+Classic single-fault propagation, vectorized across patterns: the
+fault-free circuit is swept once for the whole pattern block (that is
+the dense, backend-accelerated part), then every fault is propagated
+*sparsely* — only the nets whose words actually differ from the good
+machine are recomputed, walking the compiled fanout adjacency in
+topological order and stopping as soon as the difference dies out.
+
+The sparse walk operates on plain integer words read out of the
+backend state, so detection results are bit-identical no matter which
+backend ran the dense sweep — the cross-backend property the test
+suite checks.
+
+The main entry points:
+
+* :func:`fault_simulate` — which of these faults do these patterns
+  detect?
+* :func:`pack_tests` — pack explicit PI assignment dicts (ATPG test
+  cubes) into one parallel pattern block.
+
+ATPG uses this to *batch-drop* faults: after PODEM generates one test,
+a single parallel-pattern pass removes every other fault that test
+happens to detect (plus everything random patterns caught up front),
+so the expensive search runs only for the hard residue — see
+:func:`repro.atpg.podem.generate_tests`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
+
+from ...network.netlist import Network
+from .backends import SimBackend, eval_word, make_backend
+from .compiled import CompiledNetwork, get_compiled
+
+if TYPE_CHECKING:  # pragma: no cover - the Fault type lives in repro.atpg;
+    # imported only for annotations to keep the logic layer atpg-free
+    from ...atpg.faults import Fault
+
+
+@dataclass
+class FaultSimReport:
+    """Outcome of one parallel-pattern fault-simulation pass."""
+
+    detected: list["Fault"] = field(default_factory=list)
+    undetected: list["Fault"] = field(default_factory=list)
+    num_patterns: int = 0
+
+    @property
+    def coverage(self) -> float:
+        total = len(self.detected) + len(self.undetected)
+        return len(self.detected) / total if total else 0.0
+
+
+def pack_tests(
+    inputs: Sequence[str], tests: Sequence[Mapping[str, int]]
+) -> tuple[dict[str, int], int]:
+    """Pack PI assignment dicts into parallel words (pattern k = test k).
+
+    Unassigned inputs default to 0, matching what
+    :func:`repro.atpg.podem.find_test` reports for don't-cares.
+    """
+    assignments = dict.fromkeys(inputs, 0)
+    for k, test in enumerate(tests):
+        for pi in inputs:
+            if test.get(pi, 0):
+                assignments[pi] |= 1 << k
+    return assignments, max(len(tests), 1)
+
+
+def random_pattern_block(
+    inputs: Sequence[str], width: int = 64, seed: int = 0, rounds: int = 1
+) -> tuple[dict[str, int], int]:
+    """Concatenated random blocks, same stream as ``SimEngine``."""
+    assignments = dict.fromkeys(inputs, 0)
+    for block in range(rounds):
+        rng = random.Random(seed + block)
+        shift = block * width
+        for pi in inputs:
+            assignments[pi] |= rng.getrandbits(width) << shift
+    return assignments, width * rounds
+
+
+class FaultSimulator:
+    """Reusable fault simulator bound to one network snapshot.
+
+    Builds the good-machine state once per pattern block; :meth:`run`
+    can then be called with many fault lists (ATPG drops faults batch
+    by batch against the same block).
+    """
+
+    def __init__(
+        self, network: Network, backend: str | SimBackend = "auto"
+    ) -> None:
+        self.network = network
+        self.backend: SimBackend = (
+            make_backend(backend) if isinstance(backend, str) else backend
+        )
+        self._compiled: CompiledNetwork | None = None
+        self._state = None
+        self._good: dict[int, int] = {}
+        self.num_patterns = 0
+        self.mask = 0
+
+    def load_patterns(
+        self, assignments: Mapping[str, int], num_patterns: int
+    ) -> None:
+        """Sweep the fault-free machine over one pattern block."""
+        compiled = get_compiled(self.network)
+        state = self.backend.make_state(compiled, num_patterns)
+        for pi in compiled.inputs:
+            self.backend.load(state, compiled.net_index[pi], assignments[pi])
+        self.backend.full_sweep(compiled, state)
+        self._compiled = compiled
+        self._state = state
+        self._good = {}
+        self.num_patterns = num_patterns
+        self.mask = (1 << num_patterns) - 1
+
+    def _good_word(self, index: int) -> int:
+        word = self._good.get(index)
+        if word is None:
+            word = self.backend.read(self._state, index)
+            self._good[index] = word
+        return word
+
+    def detecting_patterns(self, fault: "Fault") -> int:
+        """Word of patterns that detect *fault* (bit k = pattern k).
+
+        Sparse single-fault propagation: ``diff`` carries the faulty
+        word only for nets that differ from the good machine; gates are
+        re-evaluated in topological order and propagation stops when
+        ``diff`` stops growing.
+        """
+        if self._state is None:
+            raise RuntimeError("no patterns loaded; call load_patterns first")
+        compiled = self._compiled
+        base = compiled.num_inputs
+        site = compiled.net_index.get(fault.net)
+        if site is None:
+            return 0
+        faulty_word = self.mask if fault.stuck_at else 0
+        diff: dict[int, int] = {}
+        heap: list[int] = []
+
+        def push_consumers(index: int) -> None:
+            for consumer in compiled.fanout[index]:
+                heapq.heappush(heap, consumer)
+
+        branch_position: int | None = None
+        if fault.pin is not None:
+            # branch fault: only the faulted pin's gate sees the stuck
+            # value; every other consumer keeps the healthy stem
+            gate_index = compiled.net_index.get(fault.pin.gate)
+            if gate_index is None or gate_index < base:
+                return 0
+            branch_position = gate_index - base
+            heapq.heappush(heap, branch_position)
+        else:
+            good = self._good_word(site)
+            if faulty_word == good:
+                return 0  # never excited
+            diff[site] = faulty_word
+            push_consumers(site)
+
+        done: set[int] = set()
+        while heap:
+            position = heapq.heappop(heap)
+            if position in done:
+                continue
+            done.add(position)
+            out_index = base + position
+            words = []
+            for offset, fanin in enumerate(compiled.fanins_of(position)):
+                if position == branch_position and offset == fault.pin.index:
+                    words.append(faulty_word)
+                else:
+                    words.append(diff.get(fanin, self._good_word(fanin)))
+            value = eval_word(
+                compiled.opcode[position],
+                compiled.invert[position],
+                words,
+                self.mask,
+            )
+            if value != self._good_word(out_index):
+                diff[out_index] = value
+                push_consumers(out_index)
+            else:
+                diff.pop(out_index, None)
+        detected = 0
+        for po in compiled.po_index:
+            if po in diff:
+                detected |= diff[po] ^ self._good_word(po)
+        return detected
+
+    def run(self, faults: Iterable["Fault"]) -> FaultSimReport:
+        """Split *faults* into detected / undetected under the block."""
+        report = FaultSimReport(num_patterns=self.num_patterns)
+        for fault in faults:
+            if self.detecting_patterns(fault):
+                report.detected.append(fault)
+            else:
+                report.undetected.append(fault)
+        return report
+
+
+def fault_simulate(
+    network: Network,
+    faults: Iterable["Fault"],
+    assignments: Mapping[str, int],
+    num_patterns: int,
+    backend: str | SimBackend = "auto",
+) -> FaultSimReport:
+    """One-shot parallel-pattern fault simulation of a pattern block."""
+    simulator = FaultSimulator(network, backend)
+    simulator.load_patterns(assignments, num_patterns)
+    return simulator.run(faults)

@@ -10,6 +10,14 @@ independent patterns.  The same engine therefore covers:
   ``2**(i+1)`` over ``2**n`` bits, and every net's word *is* its truth
   table.  This is the ground-truth oracle the symmetry tests are
   checked against.
+
+This module is the *reference* evaluator: a straightforward interpreted
+walk over the live network, convenient for one-off queries and as the
+oracle property tests compare against.  The hot paths (equivalence
+filtering, symmetry verification, ATPG fault dropping) run on
+:mod:`repro.logic.simcore` instead — the same word algebra over a
+compiled index-array form with pluggable bigint/numpy backends and
+incremental resimulation, 1-2 orders of magnitude faster per sweep.
 """
 
 from __future__ import annotations

@@ -213,11 +213,13 @@ def _anneal(
     temperature = max(current / max(len(names), 1), 1.0)
     for step in range(moves):
         a, b = rng.sample(names, 2)
-        affected = set(nets_of[a]) | set(nets_of[b])
-        affected = {
-            net for net in affected
+        # sorted: HPWL deltas are float sums, and summing in set
+        # iteration order would make accept/reject decisions (and the
+        # whole trajectory) depend on PYTHONHASHSEED
+        affected = sorted(
+            net for net in set(nets_of[a]) | set(nets_of[b])
             if net in placement.locations or network.is_input(net)
-        }
+        )
         before = sum(
             net_hpwl(network, placement, net) for net in affected
         )

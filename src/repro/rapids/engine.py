@@ -13,10 +13,20 @@ mirror Section 6:
 All modes run the same two-phase min-slack / relaxation loop from
 ``repro.sizing``; the placement is never modified (new inverters adopt
 their sink's location).
+
+Supergate extraction results persist at two granularities: the
+:class:`SupergateCache` keeps one partition incrementally fresh across
+optimizer rounds on a live network, and the process-wide
+:data:`SUPERGATE_STORE` shares finished partitions *across* networks
+with identical logic content (the three Table-1 modes, presize/final
+runs) keyed by a ``PYTHONHASHSEED``-independent content hash that
+ignores cell bindings.
 """
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from ..library.cells import Library
@@ -37,6 +47,100 @@ from .moves import swap_sites
 MODES = ("gsg", "gs", "gsg_gs")
 
 
+def network_content_hash(network: Network) -> str:
+    """Stable digest of the network's *logic structure*.
+
+    Covers IO ordering, gate types and fanin wiring — everything
+    supergate extraction depends on — and deliberately excludes cell
+    bindings (sizing a gate never moves a supergate boundary) and the
+    mutable version counter.  ``hashlib`` keeps the digest independent
+    of ``PYTHONHASHSEED``.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update("|".join(network.inputs).encode())
+    digest.update(b"\x00")
+    digest.update("|".join(network.outputs).encode())
+    for name in sorted(network.gate_names()):
+        gate = network.gate(name)
+        digest.update(
+            f"\x00{name}\x01{gate.gtype.value}\x01{','.join(gate.fanins)}"
+            .encode()
+        )
+    return digest.hexdigest()
+
+
+class PersistentSupergateStore:
+    """Content-addressed supergate partitions, shared across runs.
+
+    The three Table-1 modes (and the presize/final pair) each start
+    from a *copy* of the same prepared network, so every `run_rapids`
+    call used to pay a full extraction for an identical structure.
+    The store keys finished partitions by :func:`network_content_hash`
+    and re-binds them to whichever network object asks next; cell
+    rebinding (pure sizing) leaves the hash — and the partition —
+    untouched.  Entries hold plain dict snapshots (``Supergate``
+    objects are immutable after extraction), so attaching is a cheap
+    dict copy instead of an O(pins) re-growth.
+    """
+
+    def __init__(self, max_entries: int = 16) -> None:
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[str, tuple[dict, dict]]" = OrderedDict()
+
+    def fetch(
+        self, network: Network, key: str | None = None
+    ) -> SupergateNetwork | None:
+        """Partition for *network*'s current content, or ``None``."""
+        if key is None:
+            key = network_content_hash(network)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        supergates, owner = entry
+        return SupergateNetwork(
+            network=network,
+            supergates=dict(supergates),
+            owner=dict(owner),
+            network_version=network.version,
+        )
+
+    def store(
+        self,
+        network: Network,
+        sgn: SupergateNetwork,
+        key: str | None = None,
+    ) -> None:
+        """Snapshot a freshly extracted partition under the content key."""
+        if key is None:
+            key = network_content_hash(network)
+        self._entries[key] = (dict(sgn.supergates), dict(sgn.owner))
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def get_or_extract(self, network: Network) -> SupergateNetwork:
+        """Cached partition when the content matches, else extract+store."""
+        key = network_content_hash(network)
+        sgn = self.fetch(network, key=key)
+        if sgn is None:
+            sgn = extract_supergates(network)
+            self.store(network, sgn, key=key)
+        return sgn
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+#: Process-wide store: one prepared benchmark is optimized three times
+#: (once per mode) plus presized, all from copies with identical logic.
+SUPERGATE_STORE = PersistentSupergateStore()
+
+
 class SupergateCache:
     """Supergate extraction cached across optimizer rounds.
 
@@ -52,6 +156,7 @@ class SupergateCache:
         self.network = network
         self.full_extractions = 0
         self.partial_refreshes = 0
+        self.store_fetches = 0
         self._sgn: SupergateNetwork | None = None
         self._touched_gates: set[str] = set()
         self._touched_nets: set[str] = set()
@@ -184,9 +289,19 @@ class SupergateCache:
         return sgn
 
     def _extract_full(self) -> SupergateNetwork:
-        self._sgn = extract_supergates(self.network)
+        # fetch-only: a hit reuses the prepared network's partition
+        # (first factory call of every mode), but mid-optimization
+        # fallback extractions of a mutated trajectory would only
+        # pollute the shared LRU with never-again-matching snapshots,
+        # so storing stays with run_rapids / prepare_benchmark
+        sgn = SUPERGATE_STORE.fetch(self.network)
+        if sgn is None:
+            sgn = extract_supergates(self.network)
+            self.full_extractions += 1
+        else:
+            self.store_fetches += 1
+        self._sgn = sgn
         self._reset_dirty()
-        self.full_extractions += 1
         return self._sgn
 
     def _reset_dirty(self) -> None:
@@ -287,18 +402,20 @@ def run_rapids(
     check_equivalence: bool = False,
     collect_log: bool = False,
     incremental: bool = True,
+    sim_backend: str = "auto",
 ) -> RapidsResult:
     """Optimize a placed mapped network in place; returns the report.
 
     With ``check_equivalence`` the optimized network is verified
     functionally identical to the input (always on in the test suite;
-    optional in benchmarks for speed).
+    optional in benchmarks for speed); *sim_backend* picks the
+    simulation backend that verification sweep runs on.
     """
     if mode not in MODES:
         raise ValueError(f"unknown mode {mode!r}; pick one of {MODES}")
     reference = network.copy() if check_equivalence else None
     placement_before = placement.copy()
-    sgn = extract_supergates(network)
+    sgn = SUPERGATE_STORE.get_or_extract(network)
     coverage = sgn.coverage() * 100.0
     max_inputs = sgn.max_supergate_inputs()
     redundancies = redundancy_counts(
@@ -330,5 +447,7 @@ def run_rapids(
         perturbation=perturbation(placement_before, placement),
     )
     if reference is not None:
-        result.equivalent = networks_equivalent(reference, network)
+        result.equivalent = networks_equivalent(
+            reference, network, backend=sim_backend
+        )
     return result

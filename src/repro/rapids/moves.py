@@ -109,10 +109,13 @@ def _bounded_swaps(
         net = engine.network.fanin_net(pin)
         return engine.slack.get(net, 0.0)
 
+    # the pin itself tie-breaks equal slacks: a bare float key would
+    # leave ties in set-iteration (= PYTHONHASHSEED) order and the [:8]
+    # cutoff would then pick different pins per process
     critical: list = sorted(
         {swap.pin_a for swap in all_swaps}
         | {swap.pin_b for swap in all_swaps},
-        key=pin_slack,
+        key=lambda pin: (pin_slack(pin), pin),
     )[:8]
     critical_set = set(critical)
     bounded = [

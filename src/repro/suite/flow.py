@@ -16,10 +16,9 @@ from ..library.cells import Library, default_library
 from ..network.netlist import Network
 from ..place.placement import Placement, total_hpwl
 from ..place.placer import place
-from ..rapids.engine import MODES, RapidsResult, run_rapids
+from ..rapids.engine import MODES, SUPERGATE_STORE, RapidsResult, run_rapids
 from ..rapids.report import Table1Row, build_row, fanout_profile
 from ..symmetry.redundancy import find_easy_redundancies, redundancy_counts
-from ..symmetry.supergate import extract_supergates
 from ..synth.mapper import map_network, network_area
 from ..synth.strash import script_rugged
 from ..timing.sta import TimingEngine
@@ -37,6 +36,7 @@ class FlowConfig:
     max_rounds: int = 12
     batch_limit: int = 64
     check_equivalence: bool = False
+    sim_backend: str = "auto"         # simulation backend for verification
     anneal_moves: int | None = None  # None = auto (40 moves per gate)
     presize: bool = True              # timing-driven sizing before placement
 
@@ -111,7 +111,7 @@ def prepare_benchmark(
         hpwl=total_hpwl(network, placement),
         build_seconds=time.perf_counter() - start,
     )
-    sgn = extract_supergates(network)
+    sgn = SUPERGATE_STORE.get_or_extract(network)
     outcome.stats = {
         "gates": float(len(network)),
         "depth": float(network.depth()),
@@ -145,6 +145,7 @@ def run_benchmark(
             max_rounds=config.max_rounds,
             batch_limit=config.batch_limit,
             check_equivalence=config.check_equivalence,
+            sim_backend=config.sim_backend,
         )
     if all(mode in outcome.results for mode in MODES):
         outcome.row = build_row(
@@ -172,6 +173,41 @@ def run_suite(
         if progress is not None:
             progress(outcome)
     return outcomes
+
+
+def trajectory_fingerprint(
+    name: str, config: FlowConfig | None = None
+) -> str:
+    """Digest of one benchmark's whole flow trajectory.
+
+    Hashes the prepared netlist (gates, types, fanins, cell bindings),
+    the placement coordinates and every mode's optimization outcome
+    (moves applied, final delay/area).  Two processes running the same
+    flow must produce the same fingerprint regardless of
+    ``PYTHONHASHSEED`` — the determinism contract
+    ``tests/test_determinism.py`` and the CI hash-seed matrix enforce.
+    """
+    import hashlib
+
+    outcome = run_benchmark(name, config)
+    digest = hashlib.blake2b(digest_size=16)
+    network = outcome.network
+    for gate_name in sorted(network.gate_names()):
+        gate = network.gate(gate_name)
+        digest.update(
+            f"{gate_name}:{gate.gtype.value}:"
+            f"{','.join(gate.fanins)}:{gate.cell}".encode()
+        )
+    for gate_name, (x, y) in sorted(outcome.placement.locations.items()):
+        digest.update(f"{gate_name}@{x:.9f},{y:.9f}".encode())
+    digest.update(f"delay={outcome.initial_delay:.12f}".encode())
+    for mode in sorted(outcome.results):
+        result = outcome.results[mode].optimize
+        digest.update(
+            f"{mode}:{result.moves_applied}:{result.final_delay:.12f}:"
+            f"{result.final_area:.9f}".encode()
+        )
+    return digest.hexdigest()
 
 
 def _spec(name: str) -> BenchmarkSpec:

@@ -13,6 +13,7 @@ from .supergate import (
     SupergateNetwork,
     extract_supergates,
     grow_supergate,
+    supergate_truth_table,
 )
 from .swap import (
     PinSwap,
@@ -69,6 +70,7 @@ __all__ = [
     "reachability_class",
     "redundancy_counts",
     "remove_redundancy",
+    "supergate_truth_table",
     "swap_kinds",
     "swap_preserves_outputs",
     "swapped_copy",

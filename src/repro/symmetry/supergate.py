@@ -201,6 +201,45 @@ def extract_supergates(network: Network) -> SupergateNetwork:
     )
 
 
+def supergate_truth_table(
+    network: Network, sg: Supergate, backend: str = "auto"
+) -> tuple[list[Pin], int]:
+    """Truth table of a supergate's root over its own fanin leaves.
+
+    Every leaf pin is cut and driven by a fresh variable (in leaf
+    order); the returned word is the root function over those
+    variables, computed by one exhaustive sweep of the compiled
+    simulation engine.  For an and-or supergate this is the canonical
+    "root equals ``root_value`` iff every leaf equals its ``imp_value``"
+    form, which the test suite asserts; supergate libraries and the
+    cross-swap machinery use it as a functional fingerprint.
+
+    Returns ``(leaf_pins, table)``; variable ``k`` of the table is the
+    ``k``-th leaf.  Raises :class:`ValueError` for supergates too wide
+    to enumerate exhaustively.
+    """
+    from ..logic.simcore import SimEngine
+    from ..logic.simulate import extract_cone
+
+    if len(sg.leaves) > 20:
+        raise ValueError(
+            f"supergate {sg.root} has {len(sg.leaves)} leaves; too wide "
+            "for exhaustive truth-table extraction"
+        )
+    trial = network.copy()
+    fresh: list[str] = []
+    for number, leaf in enumerate(sg.leaves):
+        var = trial.fresh_name(f"__leaf{number}")
+        trial.add_input(var)
+        trial.replace_fanin(leaf.pin, var)
+        fresh.append(var)
+    cone = extract_cone(trial, [sg.root])
+    tables = SimEngine(cone, backend).truth_tables(
+        support=fresh, nets=[sg.root]
+    )
+    return [leaf.pin for leaf in sg.leaves], tables[sg.root]
+
+
 def grow_supergate(network: Network, root: str) -> Supergate:
     """Grow the maximal supergate rooted at gate *root*."""
     root_gate = network.gate(root)

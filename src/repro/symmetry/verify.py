@@ -12,11 +12,8 @@ function untouched.
 from __future__ import annotations
 
 from ..network.netlist import Network, Pin
-from ..logic.simulate import (
-    extract_cone,
-    random_simulate_outputs,
-    truth_tables,
-)
+from ..logic.simcore import SimEngine
+from ..logic.simulate import extract_cone
 from ..logic.truthtable import is_es, is_nes
 from .supergate import Supergate
 
@@ -44,7 +41,7 @@ def cut_pin_function(
             f"cut cone of {root} has {len(support)} inputs; too wide for "
             "exhaustive ground truth"
         )
-    tables = truth_tables(cone, support=support)
+    tables = SimEngine(cone).truth_tables(support=support, nets=[root])
     return tables[root], len(support), support
 
 
@@ -67,32 +64,38 @@ def pin_pair_symmetry(
 
 
 def swap_preserves_outputs(
-    before: Network, after: Network, exhaustive_limit: int = 14
+    before: Network, after: Network, exhaustive_limit: int = 14,
+    backend: str = "auto",
 ) -> bool:
     """Check that two networks compute identical primary outputs.
 
     Uses exhaustive simulation when the input count allows, random
-    64-bit patterns plus a BDD check otherwise.
+    parallel patterns plus a BDD check otherwise — both swept by the
+    compiled :class:`~repro.logic.simcore.SimEngine`.
     """
     if before.inputs != after.inputs or len(before.outputs) != len(
         after.outputs
     ):
         return False
-    if len(before.inputs) <= exhaustive_limit:
-        tables_before = truth_tables(before)
-        tables_after = truth_tables(after, support=list(before.inputs))
-        return all(
-            tables_before[net_b] == tables_after[net_a]
-            for net_b, net_a in zip(before.outputs, after.outputs)
-        )
-    for seed in range(4):
-        if random_simulate_outputs(before, seed=seed) != (
-            random_simulate_outputs(after, seed=seed)
+    engine_before = SimEngine(before, backend)
+    engine_after = SimEngine(after, backend)
+    try:
+        if len(before.inputs) <= exhaustive_limit:
+            engine_before.set_exhaustive_patterns()
+            engine_after.set_exhaustive_patterns(list(before.inputs))
+            return (
+                engine_before.output_words() == engine_after.output_words()
+            )
+        if engine_before.random_output_words(rounds=4) != (
+            engine_after.random_output_words(rounds=4)
         ):
             return False
+    finally:
+        engine_before.detach()
+        engine_after.detach()
     from ..verify.equiv import networks_equivalent
 
-    return networks_equivalent(before, after)
+    return networks_equivalent(before, after, backend=backend)
 
 
 def claimed_swaps_hold(network: Network, sg: Supergate) -> bool:

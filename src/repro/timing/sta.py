@@ -684,10 +684,11 @@ class TimingEngine:
         frontier: dict[str, float] = {}
         stars_new: dict[str, StarNet] = {}
         po_nets = set(network.outputs)
-        # fanin nets see a different pin capacitance
+        # fanin nets see a different pin capacitance; sorted so the
+        # frontier's float-summed gains are PYTHONHASHSEED-independent
         delta_cap = new_cell.input_cap - old_cell.input_cap
         affected_gates: set[str] = {gate_name}
-        for fanin in set(gate.fanins):
+        for fanin in sorted(set(gate.fanins)):
             star = self._ensure_star(fanin)
             new_cap = star.total_cap + delta_cap * gate.fanins.count(fanin)
             stars_new[fanin] = _with_total_cap(star, new_cap)

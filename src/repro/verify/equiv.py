@@ -6,17 +6,20 @@ bit-parallel simulation as a filter (differences are almost always
 caught within 64 patterns), then exact confirmation — exhaustive
 truth tables for narrow cones, BDDs otherwise, built per output cone so
 unrelated logic never inflates the decision diagrams.
+
+All simulation rides on :mod:`repro.logic.simcore`: the historical
+four 64-bit random rounds collapse into one 256-pattern block swept by
+the compiled vectorized engine (the patterns applied are identical, so
+the filter decision is too), and the exhaustive stage reads whole
+truth-table blocks out of the same engine.  ``backend`` selects the
+evaluation strategy (``"auto"`` prefers numpy, ``"bigint"`` is the
+reference); results are identical across backends by construction.
 """
 
 from __future__ import annotations
 
 from ..logic.bdd import BddManager, network_bdds
-from ..logic.simulate import (
-    random_simulate_outputs,
-    simulate_outputs,
-    truth_tables,
-    variable_word,
-)
+from ..logic.simcore import SimEngine
 from ..network.netlist import Network
 
 
@@ -29,6 +32,7 @@ def networks_equivalent(
     after: Network,
     exhaustive_limit: int = 14,
     random_rounds: int = 4,
+    backend: str = "auto",
 ) -> bool:
     """True when both networks compute identical primary outputs.
 
@@ -39,18 +43,22 @@ def networks_equivalent(
         return False
     if len(before.outputs) != len(after.outputs):
         return False
-    for seed in range(random_rounds):
-        if random_simulate_outputs(before, seed=seed) != (
-            random_simulate_outputs(after, seed=seed)
+    engine_before = SimEngine(before, backend)
+    engine_after = SimEngine(after, backend)
+    try:
+        if engine_before.random_output_words(rounds=random_rounds) != (
+            engine_after.random_output_words(rounds=random_rounds)
         ):
             return False
-    if len(before.inputs) <= exhaustive_limit:
-        tables_before = truth_tables(before)
-        tables_after = truth_tables(after, support=list(before.inputs))
-        return all(
-            tables_before[old] == tables_after[new]
-            for old, new in zip(before.outputs, after.outputs)
-        )
+        if len(before.inputs) <= exhaustive_limit:
+            engine_before.set_exhaustive_patterns()
+            engine_after.set_exhaustive_patterns(list(before.inputs))
+            return (
+                engine_before.output_words() == engine_after.output_words()
+            )
+    finally:
+        engine_before.detach()
+        engine_after.detach()
     return _bdd_equivalent(before, after)
 
 
@@ -66,7 +74,7 @@ def _bdd_equivalent(before: Network, after: Network) -> bool:
 
 
 def find_counterexample(
-    before: Network, after: Network, max_vars: int = 20
+    before: Network, after: Network, max_vars: int = 20, backend: str = "auto"
 ) -> dict[str, int] | None:
     """Input assignment on which the networks disagree, or ``None``.
 
@@ -75,15 +83,16 @@ def find_counterexample(
     num_vars = len(before.inputs)
     if num_vars > max_vars:
         raise ValueError(f"too many inputs ({num_vars}) for exhaustive search")
-    assignments = {
-        net: variable_word(index, num_vars)
-        for index, net in enumerate(before.inputs)
-    }
-    mask = (1 << (1 << num_vars)) - 1
-    outs_before = simulate_outputs(before, assignments, mask)
-    outs_after = simulate_outputs(
-        after, {net: assignments[net] for net in after.inputs}, mask
-    )
+    engine_before = SimEngine(before, backend)
+    engine_after = SimEngine(after, backend)
+    try:
+        engine_before.set_exhaustive_patterns()
+        engine_after.set_exhaustive_patterns(list(before.inputs))
+        outs_before = engine_before.output_words()
+        outs_after = engine_after.output_words()
+    finally:
+        engine_before.detach()
+        engine_after.detach()
     for word_before, word_after in zip(outs_before, outs_after):
         diff = word_before ^ word_after
         if diff:
@@ -95,13 +104,15 @@ def find_counterexample(
     return None
 
 
-def assert_equivalent(before: Network, after: Network) -> None:
+def assert_equivalent(
+    before: Network, after: Network, backend: str = "auto"
+) -> None:
     """Raise :class:`EquivalenceError` with diagnostics on mismatch."""
-    if networks_equivalent(before, after):
+    if networks_equivalent(before, after, backend=backend):
         return
     detail = ""
     if len(before.inputs) <= 20:
-        example = find_counterexample(before, after)
+        example = find_counterexample(before, after, backend=backend)
         detail = f"; counterexample {example}"
     raise EquivalenceError(
         f"networks {before.name!r} and {after.name!r} differ{detail}"

@@ -1,0 +1,329 @@
+"""Compiled vectorized simulation core: backends, engine, fault sim.
+
+The load-bearing property: the numpy backend must match the bigint
+reference backend (and the historical ``repro.logic.simulate`` walker)
+bit-for-bit — on random networks, at random pattern widths including
+non-multiples of 64, and after random mutations followed by
+incremental resimulation.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.atpg.faults import all_faults
+from repro.atpg.podem import find_test, generate_tests
+from repro.atpg.redundancy import untestable_fault_count
+from repro.logic.simcore import (
+    FaultSimulator,
+    SimEngine,
+    compile_network,
+    get_compiled,
+    make_backend,
+    numpy_available,
+    pack_tests,
+    random_pattern_block,
+)
+from repro.logic.simulate import random_words, simulate, truth_tables
+from repro.network.builder import NetworkBuilder
+from repro.network.gatetype import GateType
+from repro.network.netlist import Pin
+
+from helpers import random_network
+
+BACKENDS = ["bigint"] + (["numpy"] if numpy_available() else [])
+
+WIDTHS = [1, 7, 64, 65, 100, 128, 200, 257]
+
+
+# ----------------------------------------------------------------------
+# compiled form
+# ----------------------------------------------------------------------
+def test_compiled_form_shape():
+    net = random_network(3, num_inputs=4, num_gates=12, num_outputs=2)
+    compiled = compile_network(net)
+    assert compiled.num_inputs == len(net.inputs)
+    assert compiled.num_gates == len(net)
+    assert list(compiled.gate_names) == net.topo_order()
+    assert len(compiled.po_index) == len(net.outputs)
+    # every gate's fanins are compiled before it
+    for position in range(compiled.num_gates):
+        for fanin in compiled.fanins_of(position):
+            assert fanin < compiled.num_inputs + position
+
+
+def test_get_compiled_caches_and_invalidates():
+    net = random_network(4, num_gates=10)
+    first = get_compiled(net)
+    assert get_compiled(net) is first
+    name = next(net.gate_names())
+    net.set_cell(name, None)  # any mutation bumps the version
+    assert get_compiled(net) is not first
+
+
+# ----------------------------------------------------------------------
+# backends agree with each other and with the reference walker
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_backend_matches_reference_walker(backend):
+    for seed in range(8):
+        net = random_network(seed, num_inputs=6, num_gates=22, num_outputs=3)
+        engine = SimEngine(net, backend)
+        rng = random.Random(seed)
+        for width in WIDTHS:
+            assignments = random_words(net.inputs, width=width, seed=rng.randrange(999))
+            engine.set_patterns(assignments, width)
+            reference = simulate(net, assignments, mask=(1 << width) - 1)
+            assert engine.words() == reference, (seed, backend, width)
+
+
+@pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+def test_numpy_matches_bigint_bit_for_bit():
+    for seed in range(10):
+        net = random_network(seed, num_inputs=7, num_gates=30, num_outputs=4)
+        big = SimEngine(net, "bigint")
+        vec = SimEngine(net, "numpy")
+        for width in WIDTHS:
+            assignments = random_words(net.inputs, width=width, seed=seed)
+            big.set_patterns(assignments, width)
+            vec.set_patterns(assignments, width)
+            assert big.words() == vec.words(), (seed, width)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_truth_tables_match_reference(backend):
+    for seed in range(6):
+        net = random_network(seed, num_inputs=5, num_gates=15)
+        engine = SimEngine(net, backend)
+        assert engine.truth_tables() == truth_tables(net), (seed, backend)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_constants_and_wide_gates(backend):
+    builder = NetworkBuilder("consts")
+    a, b = builder.inputs(2)
+    builder.gate(GateType.CONST1, name="one")
+    builder.gate(GateType.CONST0, name="zero")
+    wide = builder.gate(GateType.NAND, a, b, "one", name="wide")
+    builder.output(builder.gate(GateType.XNOR, wide, "zero", name="f"))
+    net = builder.build()
+    engine = SimEngine(net, backend)
+    for width in (1, 3, 64, 130):
+        assignments = random_words(net.inputs, width=width, seed=1)
+        engine.set_patterns(assignments, width)
+        assert engine.words() == simulate(
+            net, assignments, mask=(1 << width) - 1
+        )
+
+
+# ----------------------------------------------------------------------
+# incremental resimulation after mutations
+# ----------------------------------------------------------------------
+def _random_safe_mutation(net, rng):
+    """Apply one function-changing mutation that keeps the DAG acyclic."""
+    gates = [g.name for g in net.gates() if g.arity() >= 1]
+    name = rng.choice(gates)
+    gate = net.gate(name)
+    kind = rng.choice(["replace", "swap", "settype"])
+    if kind == "replace":
+        pin = Pin(name, rng.randrange(gate.arity()))
+        forbidden = net.fanout_cone(name) | {name}
+        candidates = [x for x in net.nets() if x not in forbidden]
+        net.replace_fanin(pin, rng.choice(candidates))
+    elif kind == "swap":
+        other_name = rng.choice(gates)
+        other = net.gate(other_name)
+        pin_a = Pin(name, rng.randrange(gate.arity()))
+        pin_b = Pin(other_name, rng.randrange(other.arity()))
+        net_a, net_b = net.fanin_net(pin_a), net.fanin_net(pin_b)
+        if (
+            net_b in net.fanout_cone(name) or net_b == name
+            or net_a in net.fanout_cone(other_name) or net_a == other_name
+        ):
+            return  # would create a cycle; skip this step
+        net.swap_fanins(pin_a, pin_b)
+    else:
+        if gate.arity() == 1:
+            net.set_gate_type(
+                name, rng.choice([GateType.INV, GateType.BUF])
+            )
+        else:
+            net.set_gate_type(name, rng.choice([
+                GateType.AND, GateType.OR, GateType.XOR,
+                GateType.NAND, GateType.NOR, GateType.XNOR,
+            ]))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_incremental_resimulation_matches_fresh(backend):
+    for seed in range(8):
+        base = random_network(seed, num_inputs=6, num_gates=25, num_outputs=3)
+        net = base.copy()
+        rng = random.Random(seed + 1000)
+        engine = SimEngine(net, backend)
+        width = rng.choice(WIDTHS)
+        assignments = random_words(net.inputs, width=width, seed=seed)
+        engine.set_patterns(assignments, width)
+        for step in range(25):
+            _random_safe_mutation(net, rng)
+            engine.resimulate()
+            reference = simulate(net, assignments, mask=(1 << width) - 1)
+            assert engine.words() == reference, (seed, backend, step)
+        # rewiring steps must actually have used the incremental path
+        assert engine.incremental_updates > 0, (seed, backend)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_incremental_cheaper_than_full_sweep(backend):
+    """A single swap must not re-evaluate the whole network."""
+    net = random_network(2, num_inputs=8, num_gates=60, num_outputs=4)
+    engine = SimEngine(net, backend)
+    assignments = random_words(net.inputs, width=64, seed=0)
+    engine.set_patterns(assignments, 64)
+    evals_before = engine.gate_evals
+    # swap two fanins of one gate: dirties two gates' fanout cones only
+    gate = next(g for g in net.gates() if g.arity() >= 2)
+    net.swap_fanins(Pin(gate.name, 0), Pin(gate.name, 1))
+    engine.resimulate()
+    assert engine.gate_evals - evals_before < len(net)
+
+
+def test_exhaustive_patterns_require_full_support():
+    """A support that misses a primary input fails loudly, like the
+    reference ``truth_tables`` (no silent zero-fill)."""
+    net = random_network(0, num_inputs=4, num_gates=8)
+    engine = SimEngine(net)
+    with pytest.raises(KeyError):
+        engine.set_exhaustive_patterns(support=net.inputs[:-1])
+
+
+def test_structural_mutation_forces_consistent_state():
+    net = random_network(5, num_inputs=5, num_gates=15, num_outputs=2)
+    engine = SimEngine(net)
+    assignments = random_words(net.inputs, width=96, seed=5)
+    engine.set_patterns(assignments, 96)
+    new = net.fresh_name("extra")
+    net.add_gate(new, GateType.AND, [net.inputs[0], net.inputs[1]])
+    net.replace_fanin(Pin(next(net.gate_names()), 0), new)
+    engine.resimulate()
+    assert engine.words() == simulate(net, assignments, mask=(1 << 96) - 1)
+
+
+# ----------------------------------------------------------------------
+# fault simulation
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_fault_simulator_agrees_with_forced_resimulation(backend):
+    for seed in range(6):
+        net = random_network(seed, num_inputs=5, num_gates=16, num_outputs=3)
+        assignments, num = random_pattern_block(
+            net.inputs, width=64, seed=seed, rounds=2
+        )
+        mask = (1 << num) - 1
+        good = simulate(net, assignments, mask)
+        simulator = FaultSimulator(net, backend)
+        simulator.load_patterns(assignments, num)
+        for fault in all_faults(net, include_branches=True):
+            expected = _brute_force_detects(net, fault, assignments, mask, good)
+            got = bool(simulator.detecting_patterns(fault))
+            assert got == expected, (seed, backend, str(fault))
+
+
+def _brute_force_detects(net, fault, assignments, mask, good):
+    words = {}
+    for pi in net.inputs:
+        word = assignments[pi] & mask
+        if fault.pin is None and fault.net == pi:
+            word = mask if fault.stuck_at else 0
+        words[pi] = word
+    for name in net.topo_order():
+        gate = net.gate(name)
+        fanin_words = []
+        for index, fanin in enumerate(gate.fanins):
+            word = words[fanin]
+            if fault.pin == Pin(name, index) and fault.net == fanin:
+                word = mask if fault.stuck_at else 0
+            fanin_words.append(word)
+        word = gate.eval(fanin_words, mask)
+        if fault.pin is None and fault.net == name:
+            word = mask if fault.stuck_at else 0
+        words[name] = word
+    return any(words[out] != good[out] for out in net.outputs)
+
+
+@pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+def test_fault_simulation_identical_across_backends():
+    for seed in range(5):
+        net = random_network(seed, num_inputs=6, num_gates=20, num_outputs=3)
+        assignments, num = random_pattern_block(net.inputs, width=64, seed=seed)
+        faults = list(all_faults(net, include_branches=True))
+        reports = {}
+        for backend in ("bigint", "numpy"):
+            simulator = FaultSimulator(net, backend)
+            simulator.load_patterns(assignments, num)
+            reports[backend] = [
+                simulator.detecting_patterns(fault) for fault in faults
+            ]
+        assert reports["bigint"] == reports["numpy"], seed
+
+
+# ----------------------------------------------------------------------
+# ATPG integration: test generation with batch fault dropping
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_generate_tests_classification_sound(backend):
+    for seed in range(4):
+        net = random_network(seed, num_inputs=5, num_gates=14, num_outputs=2)
+        report = generate_tests(net, backend=backend, max_backtracks=4000)
+        total = (
+            len(report.detected) + len(report.untestable)
+            + len(report.undecided)
+        )
+        assert total == len(list(all_faults(net, include_branches=False)))
+        # every fault PODEM proved untestable really has no test
+        for fault in report.untestable:
+            assert find_test(net, fault=fault).test is None, str(fault)
+        # every claim of detection is backed by simulation: the
+        # reported random block plus the PODEM tests must together
+        # detect every fault in the detected list
+        if report.detected:
+            simulator = FaultSimulator(net, backend)
+            still = list(report.detected)
+            if report.random_block is not None:
+                assignments, num = report.random_block
+                simulator.load_patterns(assignments, num)
+                still = simulator.run(still).undetected
+            if report.tests and still:
+                assignments, num = pack_tests(net.inputs, report.tests)
+                simulator.load_patterns(assignments, num)
+                still = simulator.run(still).undetected
+            assert not still, (seed, [str(f) for f in still])
+
+
+def test_generate_tests_drops_most_faults_without_podem():
+    net = random_network(1, num_inputs=7, num_gates=40, num_outputs=4)
+    report = generate_tests(net, max_backtracks=4000)
+    total = (
+        len(report.detected) + len(report.untestable) + len(report.undecided)
+    )
+    # the vectorized random pre-pass must carry most of the load: PODEM
+    # may only run for the residue it left behind
+    assert report.random_dropped > 0
+    assert report.podem_calls < total
+    assert report.podem_calls == total - report.random_dropped - report.sim_dropped
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_untestable_fault_count_matches_search_only(backend):
+    for seed in range(4):
+        net = random_network(seed, num_inputs=5, num_gates=12, num_outputs=2)
+        filtered = untestable_fault_count(
+            net, max_backtracks=4000, random_filter=True, backend=backend
+        )
+        baseline = untestable_fault_count(
+            net, max_backtracks=4000, random_filter=False
+        )
+        # with a generous budget both classify everything identically
+        assert filtered == baseline, seed

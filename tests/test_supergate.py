@@ -172,3 +172,49 @@ def test_extraction_never_crashes_and_partitions(seed):
     sgn = extract_supergates(net)
     covered = sum(len(sg.covered) for sg in sgn.supergates.values())
     assert covered == len(net)
+
+
+def test_supergate_truth_table_canonical_forms():
+    """The extracted local function matches the supergate algebra.
+
+    An and-or supergate computes "root equals ``root_value`` iff every
+    leaf equals its ``imp_value``" — an AND of leaf literals,
+    complemented when ``root_value`` is 0; an xor supergate computes a
+    parity (up to polarity) over its leaves.
+    """
+    from repro.logic.simulate import table_mask, variable_word
+    from repro.symmetry.supergate import supergate_truth_table
+
+    checked_andor = checked_xor = 0
+    for seed in range(12):
+        net = random_network(seed, num_gates=14, num_outputs=2)
+        sgn = extract_supergates(net)
+        for sg in sgn.supergates.values():
+            if sg.num_inputs == 0 or sg.num_inputs > 10:
+                continue
+            pins, table = supergate_truth_table(net, sg)
+            assert pins == [leaf.pin for leaf in sg.leaves]
+            num_vars = len(pins)
+            mask = table_mask(num_vars)
+            if sg.sg_class is SgClass.ANDOR:
+                product = mask
+                for index, leaf in enumerate(sg.leaves):
+                    literal = variable_word(index, num_vars)
+                    if leaf.imp_value == 0:
+                        literal ^= mask
+                    product &= literal
+                expected = product if sg.root_value == 1 else product ^ mask
+                assert table == expected, (seed, sg.root)
+                checked_andor += 1
+            elif sg.sg_class is SgClass.XOR:
+                parity = 0
+                for index in range(num_vars):
+                    parity ^= variable_word(index, num_vars)
+                assert table in (parity, parity ^ mask), (seed, sg.root)
+                checked_xor += 1
+            elif sg.sg_class is SgClass.WIRE:
+                literal = variable_word(0, 1)
+                assert table in (literal, literal ^ table_mask(1)), (
+                    seed, sg.root,
+                )
+    assert checked_andor > 5 and checked_xor > 0
