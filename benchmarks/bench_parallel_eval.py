@@ -1,0 +1,148 @@
+"""Serial vs. sharded candidate-gain evaluation — same answer, less wall.
+
+Each quick-set circuit is prepared once (generate → map → place); its
+gsg+GS site list and analyzed timing engine then feed the exact
+evaluation unit the optimizer parallelized: score every site's moves
+against the frozen timing snapshot, pick each site's best candidate.
+That unit runs twice per circuit — inline (the serial ``_phase`` path)
+and sharded over one shared :class:`repro.parallel.EvalPool` — and
+must produce *identical* selections; the pool is reused across
+circuits exactly as ``optimize()`` reuses it across phases, so worker
+startup amortizes the way it does in production.
+
+Checked properties:
+
+* **agreement** — sharded selections equal the serial ones, element
+  for element (scores are floats: equality is bit-for-bit);
+* **speed** — at ``REPRO_BENCH_WORKERS`` workers (default 4) the
+  sharded path must be at least ``1.3x`` faster in aggregate over the
+  set (``1.1x`` at 2 workers; the assertion is skipped on single-core
+  machines where no start method can buy parallelism).
+
+``REPRO_BENCH_SET=quick`` trims the circuit list for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.library.cells import default_library
+from repro.parallel import EvalPool, best_phase_move
+from repro.rapids.engine import _gsg_gs_factory
+from repro.suite.flow import FlowConfig, prepare_benchmark
+from repro.timing.sta import TimingEngine
+
+from bench_helpers import QUICK_SET, quick_mode
+
+def _usable_cpus() -> int:
+    """CPUs this process may actually run on.
+
+    ``os.cpu_count()`` reports the host; containers and CI runners are
+    often pinned to fewer via affinity masks or cgroup quotas, and a
+    speedup floor must be judged against what the scheduler grants.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux platforms
+        return os.cpu_count() or 1
+
+
+#: Worker count under test (the acceptance criterion names 4).
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "4"))
+#: What the hardware can actually parallelize (the pool counts the
+#: parent as one of its *workers*).
+EFFECTIVE = min(WORKERS, _usable_cpus())
+#: Aggregate speedup floor by effective parallelism: 1.3x is the
+#: acceptance criterion at 4-way; a 2-way machine can honestly be
+#: asked for 1.1x; below that there is nothing to assert.
+MIN_AGGREGATE_SPEEDUP = 1.3 if EFFECTIVE >= 4 else 1.1
+#: Evaluation repetitions per circuit (median-free total, like the
+#: optimizer which evaluates every batch exactly once per phase).
+ROUNDS = 3
+
+#: name -> (serial seconds, sharded seconds, sites)
+_TIMES: dict[str, tuple[float, float, int]] = {}
+
+#: One pool for the whole module, like one pool per ``optimize`` run.
+_POOL = EvalPool(WORKERS, min_sites=1)
+
+_HEADER = (
+    f"{'ckt':<8}{'gates':>6}{'sites':>6}{'moves':>7}"
+    f"{'serial-s':>10}{'shard-s':>9}{'speedup':>9}"
+)
+
+
+def bench_names() -> list[str]:
+    """Three circuits for the CI smoke run, the full quick set otherwise."""
+    return QUICK_SET[:3] if quick_mode() else QUICK_SET
+
+
+def _multicore() -> bool:
+    return _usable_cpus() >= 2
+
+
+@pytest.mark.parametrize("name", bench_names())
+def test_sharded_evaluation_agrees_and_speeds_up(name, library):
+    outcome = prepare_benchmark(name, FlowConfig(), library)
+    network, placement = outcome.network, outcome.placement
+    engine = TimingEngine(network, placement, library)
+    engine.analyze()
+    sites = _gsg_gs_factory(library)(network, engine)
+    num_moves = sum(len(site.moves) for site in sites)
+
+    serial_seconds = 0.0
+    sharded_seconds = 0.0
+    serial = sharded = None
+    for round_index in range(ROUNDS):
+        metric = "min" if round_index % 2 == 0 else "sum"
+        start = time.perf_counter()
+        serial = [
+            best_phase_move(site, engine, library, metric, 1e-9)
+            for site in sites
+        ]
+        serial_seconds += time.perf_counter() - start
+        start = time.perf_counter()
+        sharded = _POOL.evaluate(engine, library, sites, metric, 1e-9)
+        sharded_seconds += time.perf_counter() - start
+        # agreement: bit-identical selections, so the optimizer commits
+        # the same batch whichever path scored it
+        assert sharded == serial, (name, metric)
+    assert _POOL.fallback_reason is None, _POOL.fallback_reason
+    assert _POOL.parallel_batches > 0
+
+    speedup = serial_seconds / sharded_seconds if sharded_seconds else 0.0
+    print()
+    print(_HEADER)
+    print(
+        f"{name:<8}{len(network):>6d}{len(sites):>6d}{num_moves:>7d}"
+        f"{serial_seconds:>10.3f}{sharded_seconds:>9.3f}{speedup:>8.2f}x"
+    )
+    _TIMES[name] = (serial_seconds, sharded_seconds, len(sites))
+
+
+def test_aggregate_speedup_floor():
+    """The acceptance criterion: >= 1.3x over the set at 4 workers."""
+    if not _TIMES:
+        pytest.skip("per-circuit benches were deselected")
+    serial_total = sum(serial for serial, _, _ in _TIMES.values())
+    sharded_total = sum(sharded for _, sharded, _ in _TIMES.values())
+    speedup = serial_total / sharded_total
+    print(
+        f"\naggregate over {sorted(_TIMES)} at {WORKERS} workers "
+        f"({EFFECTIVE} effective): serial={serial_total:.3f}s "
+        f"sharded={sharded_total:.3f}s -> {speedup:.2f}x"
+    )
+    _POOL.close()
+    if not _multicore():
+        pytest.skip(
+            f"single-core machine: measured {speedup:.2f}x, no "
+            f"parallel speedup is physically available"
+        )
+    assert speedup >= MIN_AGGREGATE_SPEEDUP, (
+        f"sharded evaluation at {WORKERS} workers is only {speedup:.2f}x "
+        f"faster in aggregate (floor {MIN_AGGREGATE_SPEEDUP}x at "
+        f"{EFFECTIVE}-way effective parallelism)"
+    )

@@ -35,6 +35,8 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     config = FlowConfig(
         scale=args.scale,
         check_equivalence=args.verify,
+        workers=args.workers,
+        sim_backend=args.sim_backend,
     )
     names = args.names or benchmark_names()
     print(Table1Row.HEADER)
@@ -67,7 +69,12 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    config = FlowConfig(scale=args.scale, check_equivalence=args.verify)
+    config = FlowConfig(
+        scale=args.scale,
+        check_equivalence=args.verify,
+        workers=args.workers,
+        sim_backend=args.sim_backend,
+    )
     outcome = run_benchmark(args.name, config)
     print(f"benchmark {args.name} (scale {outcome.scale})")
     print(f"  gates {len(outcome.network)}  depth "
@@ -129,17 +136,35 @@ def main(argv: list[str] | None = None) -> int:
     p_list = sub.add_parser("list", help="registered benchmarks")
     p_list.set_defaults(func=_cmd_list)
 
+    def _optimizer_knobs(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--workers", type=int, default=1, metavar="N",
+            help="shard candidate-gain evaluation over N worker "
+                 "processes; the optimization trajectory is bit-identical "
+                 "for every N (default: 1, serial)",
+        )
+        p.add_argument(
+            "--sim-backend", default="auto",
+            choices=["auto", "bigint", "numpy"],
+            help="simulation backend for equivalence sweeps; 'auto' "
+                 "picks bigint for deep narrow logic and numpy for wide "
+                 "shallow blocks from the compiled sweep shape "
+                 "(default: auto)",
+        )
+
     p_table = sub.add_parser("table1", help="reproduce Table 1")
     p_table.add_argument("names", nargs="*", help="subset of benchmarks")
     p_table.add_argument("--scale", type=float, default=None)
     p_table.add_argument("--verify", action="store_true",
                          help="check functional equivalence per mode")
+    _optimizer_knobs(p_table)
     p_table.set_defaults(func=_cmd_table1)
 
     p_bench = sub.add_parser("bench", help="one benchmark, verbose")
     p_bench.add_argument("name")
     p_bench.add_argument("--scale", type=float, default=None)
     p_bench.add_argument("--verify", action="store_true")
+    _optimizer_knobs(p_bench)
     p_bench.set_defaults(func=_cmd_bench)
 
     p_sym = sub.add_parser(

@@ -9,14 +9,17 @@ equivalence filtering, symmetry verification, ATPG — run on.
 """
 
 from .simcore import (
+    AdaptiveBackend,
     CompiledNetwork,
     FaultSimulator,
     SimEngine,
+    choose_backend,
     compile_network,
     fault_simulate,
     get_compiled,
     make_backend,
     numpy_available,
+    sweep_shape,
 )
 from .values import (
     Value,
@@ -58,6 +61,7 @@ from .implication import (
 )
 
 __all__ = [
+    "AdaptiveBackend",
     "BddManager",
     "CompiledNetwork",
     "FaultSimulator",
@@ -66,11 +70,13 @@ __all__ = [
     "SimEngine",
     "Value",
     "ZERO",
+    "choose_backend",
     "compile_network",
     "fault_simulate",
     "get_compiled",
     "make_backend",
     "numpy_available",
+    "sweep_shape",
     "all_symmetric_pairs",
     "and_values",
     "backward_imply",

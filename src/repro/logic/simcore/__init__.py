@@ -23,12 +23,17 @@ falls back to recompile + full sweep for structural changes.
 """
 
 from .backends import (
+    AdaptiveBackend,
     BigintBackend,
     NumpyBackend,
     SimBackend,
+    SweepShape,
+    choose_backend,
+    estimate_sweep_costs,
     eval_word,
     make_backend,
     numpy_available,
+    sweep_shape,
 )
 from .compiled import CompiledNetwork, compile_network, get_compiled
 from .engine import SimEngine
@@ -41,6 +46,7 @@ from .faultsim import (
 )
 
 __all__ = [
+    "AdaptiveBackend",
     "BigintBackend",
     "CompiledNetwork",
     "FaultSimReport",
@@ -48,7 +54,10 @@ __all__ = [
     "NumpyBackend",
     "SimBackend",
     "SimEngine",
+    "SweepShape",
+    "choose_backend",
     "compile_network",
+    "estimate_sweep_costs",
     "eval_word",
     "fault_simulate",
     "get_compiled",
@@ -56,4 +65,5 @@ __all__ = [
     "numpy_available",
     "pack_tests",
     "random_pattern_block",
+    "sweep_shape",
 ]

@@ -18,13 +18,23 @@ bigint words at the boundary, full sweep, single-gate eval), and both
 produce identical :func:`read` results for identical inputs — the
 property ``tests/test_simcore.py`` checks bit-for-bit.
 
+:class:`AdaptiveBackend` (the ``"auto"`` of :func:`make_backend`)
+resolves to one of the two per pattern block from a static cost model
+over the compiled sweep shape (:func:`sweep_shape`): CPython's bigint
+ops pay far less per-op dispatch than a ufunc call with fancy-indexed
+gather/scatter, so bigint wins deep narrow control logic where level
+groups hold one or two gates, while numpy wins wide shallow circuits
+and very wide blocks where dispatch amortizes over the group.  No
+runtime probing: the choice is derived from gate/level/group counts
+alone, so it is deterministic and costs O(gates) once per compile.
+
 Words crossing the backend boundary are always plain Python integers
 (bit ``k`` = pattern ``k``), so callers never see the representation.
 """
 
 from __future__ import annotations
 
-from typing import Mapping, Protocol
+from typing import Mapping, NamedTuple, Protocol
 
 from .compiled import (
     CompiledNetwork,
@@ -152,7 +162,8 @@ class NumpyState:
     decomposed into binary ops).
     """
 
-    __slots__ = ("block", "num_patterns", "num_words", "tail_mask")
+    __slots__ = ("block", "num_patterns", "num_words", "tail_mask",
+                 "int_mask")
 
     def __init__(self, num_slots: int, num_patterns: int) -> None:
         self.num_patterns = num_patterns
@@ -161,6 +172,69 @@ class NumpyState:
         tail_bits = num_patterns - (self.num_words - 1) * 64
         self.tail_mask = _np.uint64((1 << tail_bits) - 1 if tail_bits < 64 else
                                     0xFFFF_FFFF_FFFF_FFFF)
+        # cached once: building a multi-kilobit mask per load() call
+        # used to dominate pattern loading on wide blocks
+        self.int_mask = (1 << num_patterns) - 1
+
+
+def _binary_decomposition(compiled: CompiledNetwork):
+    """Decompose the compiled gates into leveled binary nodes.
+
+    The single source of truth for the level-packed evaluation
+    structure: every multi-input gate becomes a balanced tree of binary
+    ops whose temporaries live in scratch slots past the real nets, and
+    every node carries the (level, op, invert) key the numpy plan
+    groups by.  Both the executable plan (:class:`_NumpyPlan`) and the
+    static cost model (:func:`sweep_shape`) are derived from this one
+    enumeration, so the model can never drift from what the backend
+    actually runs.
+
+    Returns ``(nodes, const_rows, num_slots)`` where each node is
+    ``(level, op, invert, out_slot, a_slot, b_slot | -1 for copies)``
+    and ``const_rows`` is ``[(row, op), ...]`` for constant gates.
+    Cached per compiled revision so plan and shape share one O(gates)
+    pass per (re)compile, not one each.
+    """
+    cached = getattr(compiled, "_binary_decomp", None)
+    if cached is not None and cached[0] == compiled.revision:
+        return cached[1]
+    base = compiled.num_inputs
+    level: list[int] = [0] * compiled.num_nets
+    next_slot = compiled.num_nets
+    nodes: list[tuple[int, int, bool, int, int, int]] = []
+    const_rows: list[tuple[int, int]] = []
+    for position in range(compiled.num_gates):
+        out = base + position
+        op = compiled.opcode[position]
+        inv = compiled.invert[position]
+        fanins = compiled.fanins_of(position)
+        if op in (OP_CONST0, OP_CONST1):
+            const_rows.append((out, op))
+            continue
+        if op == OP_BUF or len(fanins) == 1:
+            level[out] = level[fanins[0]] + 1
+            nodes.append((level[out], OP_BUF, inv, out, fanins[0], -1))
+            continue
+        current = list(fanins)
+        while len(current) > 2:
+            reduced = []
+            for k in range(0, len(current) - 1, 2):
+                temp = next_slot
+                next_slot += 1
+                temp_level = max(level[current[k]], level[current[k + 1]]) + 1
+                level.append(temp_level)
+                nodes.append(
+                    (temp_level, op, False, temp, current[k], current[k + 1])
+                )
+                reduced.append(temp)
+            if len(current) % 2:
+                reduced.append(current[-1])
+            current = reduced
+        level[out] = max(level[current[0]], level[current[1]]) + 1
+        nodes.append((level[out], op, inv, out, current[0], current[1]))
+    result = (nodes, const_rows, next_slot)
+    compiled._binary_decomp = (compiled.revision, result)
+    return result
 
 
 class _NumpyPlan:
@@ -168,57 +242,22 @@ class _NumpyPlan:
 
     Evaluating gate-by-gate wastes the vectorization on ufunc dispatch:
     each call touches only ``num_words`` elements.  The plan therefore
-    decomposes every multi-input gate into a balanced tree of binary
-    ops (temporaries live in scratch rows past the real nets), levels
-    the resulting nodes, and groups each level's nodes by (op, invert).
-    One group — *all* same-op gates of one level — evaluates as a
-    single gather/ufunc/scatter triple across ``len(group) × num_words``
-    elements, so dispatch cost amortizes over gates as well as
-    patterns.
+    takes the shared binary decomposition and groups each level's nodes
+    by (op, invert).  One group — *all* same-op gates of one level —
+    evaluates as a single gather/ufunc/scatter triple across
+    ``len(group) × num_words`` elements, so dispatch cost amortizes
+    over gates as well as patterns.
     """
 
     __slots__ = ("num_slots", "const_rows", "groups")
 
     def __init__(self, compiled: CompiledNetwork) -> None:
-        base = compiled.num_inputs
-        level: list[int] = [0] * compiled.num_nets
-        next_slot = compiled.num_nets
-        # nodes: (op, invert, out_slot, a_slot, b_slot | -1 for copies)
-        nodes: list[tuple[int, bool, int, int, int]] = []
-        const_rows: list[tuple[int, int]] = []
-        for position in range(compiled.num_gates):
-            out = base + position
-            op = compiled.opcode[position]
-            inv = compiled.invert[position]
-            fanins = compiled.fanins_of(position)
-            if op in (OP_CONST0, OP_CONST1):
-                const_rows.append((out, op))
-                continue
-            if op == OP_BUF or len(fanins) == 1:
-                nodes.append((OP_BUF, inv, out, fanins[0], -1))
-                level[out] = level[fanins[0]] + 1
-                continue
-            current = list(fanins)
-            while len(current) > 2:
-                reduced = []
-                for k in range(0, len(current) - 1, 2):
-                    temp = next_slot
-                    next_slot += 1
-                    level.append(
-                        max(level[current[k]], level[current[k + 1]]) + 1
-                    )
-                    nodes.append((op, False, temp, current[k], current[k + 1]))
-                    reduced.append(temp)
-                if len(current) % 2:
-                    reduced.append(current[-1])
-                current = reduced
-            nodes.append((op, inv, out, current[0], current[1]))
-            level[out] = max(level[current[0]], level[current[1]]) + 1
-        self.num_slots = next_slot
+        nodes, const_rows, num_slots = _binary_decomposition(compiled)
+        self.num_slots = num_slots
         self.const_rows = const_rows
         buckets: dict[tuple[int, int, bool], list[tuple[int, int, int]]] = {}
-        for op, inv, out, a, b in nodes:
-            buckets.setdefault((level[out], op, inv), []).append((out, a, b))
+        for node_level, op, inv, out, a, b in nodes:
+            buckets.setdefault((node_level, op, inv), []).append((out, a, b))
         self.groups = []
         for (_, op, inv), members in sorted(buckets.items()):
             out_idx = _np.array([m[0] for m in members], dtype=_np.intp)
@@ -255,8 +294,7 @@ class NumpyBackend:
         return state
 
     def load(self, state: NumpyState, index: int, word: int) -> None:
-        mask = (1 << state.num_patterns) - 1
-        raw = (word & mask).to_bytes(state.num_words * 8, "little")
+        raw = (word & state.int_mask).to_bytes(state.num_words * 8, "little")
         state.block[index] = _np.frombuffer(raw, dtype="<u8")
 
     def read(self, state: NumpyState, index: int) -> int:
@@ -326,10 +364,176 @@ def numpy_available() -> bool:
     return _np is not None
 
 
+# ----------------------------------------------------------------------
+# adaptive backend choice
+# ----------------------------------------------------------------------
+class SweepShape(NamedTuple):
+    """Static shape of one full sweep over a compiled network.
+
+    ``num_nodes`` counts the binary evaluation nodes after multi-input
+    gates decompose into balanced trees (what both backends actually
+    execute per sweep); ``num_groups`` counts the level-packed
+    (level, op, invert) batches the numpy plan would issue — one ufunc
+    dispatch each.  The ratio ``num_nodes / num_groups`` is the mean
+    vectorization width: deep narrow control logic sits near 1, wide
+    shallow XOR networks in the tens to hundreds.
+    """
+
+    num_gates: int
+    num_nodes: int
+    num_groups: int
+
+    @property
+    def mean_group_size(self) -> float:
+        return self.num_nodes / self.num_groups if self.num_groups else 0.0
+
+
+def sweep_shape(compiled: CompiledNetwork) -> SweepShape:
+    """Shape of *compiled*'s sweep, from the shared binary decomposition.
+
+    Counts the same nodes and (level, op, invert) groups the numpy plan
+    executes (:func:`_binary_decomposition` is the single source for
+    both) — no numpy needed, no simulation run — and is cached per
+    compiled revision, so the adaptive choice costs O(gates) once per
+    (re)compile.
+    """
+    cached = getattr(compiled, "_sweep_shape", None)
+    if cached is not None and cached[0] == compiled.revision:
+        return cached[1]
+    nodes, _const_rows, _num_slots = _binary_decomposition(compiled)
+    shape = SweepShape(
+        num_gates=compiled.num_gates,
+        num_nodes=len(nodes),
+        num_groups=len(
+            {(lvl, op, inv) for lvl, op, inv, _o, _a, _b in nodes}
+        ),
+    )
+    compiled._sweep_shape = (compiled.revision, shape)
+    return shape
+
+
+#: Cost-model weights in microsecond-equivalent units, calibrated
+#: against measured ``set_patterns`` (state + PI loads + full sweep)
+#: on CPython 3.11: a bigint node pays ~0.6us of bytecode dispatch
+#: and its C limb loop is nearly free per extra word; a numpy level
+#: group pays a ufunc dispatch plus fancy-indexed gather/scatter
+#: (~4us), pattern loading pays ~0.5us per primary input
+#: (``to_bytes``/``frombuffer``) growing with the word count, and a
+#: sweep pays a small fixed state-setup cost.  Only the *ordering* of
+#: the two totals matters, and it reproduces the measured regimes:
+#: bigint wins deep narrow control logic (near-empty level groups,
+#: dispatch-dominated) and PI-heavy miniatures; numpy wins wide
+#: shallow circuits whose level groups amortize dispatch over tens of
+#: gates.
+_BIGINT_NODE = 0.6        # per binary node
+_BIGINT_NODE_WORD = 0.0015  # per node per 64-bit word (limb loop)
+_NUMPY_FIXED = 30.0       # state setup per pattern block
+_NUMPY_GROUP = 4.0        # per (level, op, invert) group dispatch
+_NUMPY_NODE_WORD = 0.002  # per node per 64-bit word (dense kernel)
+_NUMPY_PI = 0.5           # per primary-input load
+_NUMPY_PI_WORD = 0.01     # per primary-input load per word
+
+
+def estimate_sweep_costs(
+    compiled: CompiledNetwork, num_patterns: int
+) -> tuple[float, float]:
+    """(bigint, numpy) modeled cost of one pattern block, same units.
+
+    Covers the whole ``set_patterns`` unit of work — state creation,
+    per-PI pattern loads and the full sweep — because that is what
+    consumers pay per block; no runtime probing, every term is derived
+    from the compiled form's static counts.
+    """
+    shape = sweep_shape(compiled)
+    words = max(1, -(-num_patterns // 64))
+    bigint_cost = shape.num_nodes * (
+        _BIGINT_NODE + _BIGINT_NODE_WORD * words
+    )
+    numpy_cost = (
+        _NUMPY_FIXED
+        + compiled.num_inputs * (_NUMPY_PI + _NUMPY_PI_WORD * words)
+        + shape.num_groups * _NUMPY_GROUP
+        + shape.num_nodes * _NUMPY_NODE_WORD * words
+    )
+    return (bigint_cost, numpy_cost)
+
+
+def choose_backend(compiled: CompiledNetwork, num_patterns: int) -> str:
+    """Resolve ``"auto"`` to ``"bigint"`` or ``"numpy"`` for this sweep."""
+    if not numpy_available():
+        return "bigint"
+    bigint_cost, numpy_cost = estimate_sweep_costs(compiled, num_patterns)
+    return "bigint" if bigint_cost <= numpy_cost else "numpy"
+
+
+class AdaptiveState:
+    """State wrapper that remembers which concrete backend owns it."""
+
+    __slots__ = ("backend", "inner")
+
+    def __init__(self, backend: SimBackend, inner) -> None:
+        self.backend = backend
+        self.inner = inner
+
+
+class AdaptiveBackend:
+    """The ``"auto"`` backend: picks bigint or numpy per sweep shape.
+
+    The choice is made at state-creation time from the static cost
+    model above — no runtime probing — and travels with the state, so
+    one engine can hold, e.g., a bigint state for a 64-pattern filter
+    block and a numpy state for a 4096-pattern exhaustive table.
+    Results are bit-identical either way (the cross-backend property
+    ``tests/test_simcore.py`` checks), so the choice can only move wall
+    time.
+    """
+
+    name = "auto"
+
+    def __init__(self) -> None:
+        self._bigint = BigintBackend()
+        self._numpy = NumpyBackend() if numpy_available() else None
+        #: backend name picked by the most recent ``make_state``
+        self.last_choice: str | None = None
+
+    def resolve(self, compiled: CompiledNetwork, num_patterns: int) -> SimBackend:
+        """The concrete backend the cost model picks for this sweep."""
+        choice = choose_backend(compiled, num_patterns)
+        self.last_choice = choice
+        if choice == "numpy" and self._numpy is not None:
+            return self._numpy
+        return self._bigint
+
+    def make_state(
+        self, compiled: CompiledNetwork, num_patterns: int
+    ) -> AdaptiveState:
+        backend = self.resolve(compiled, num_patterns)
+        return AdaptiveState(backend, backend.make_state(compiled, num_patterns))
+
+    def load(self, state: AdaptiveState, index: int, word: int) -> None:
+        state.backend.load(state.inner, index, word)
+
+    def read(self, state: AdaptiveState, index: int) -> int:
+        return state.backend.read(state.inner, index)
+
+    def full_sweep(self, compiled: CompiledNetwork, state: AdaptiveState) -> None:
+        state.backend.full_sweep(compiled, state.inner)
+
+    def eval_gate(
+        self, compiled: CompiledNetwork, state: AdaptiveState, position: int
+    ) -> bool:
+        return state.backend.eval_gate(compiled, state.inner, position)
+
+
 def make_backend(name: str = "auto") -> SimBackend:
-    """Backend factory: ``"auto"`` prefers numpy, falls back to bigint."""
+    """Backend factory.
+
+    ``"auto"`` returns the adaptive backend, which resolves to bigint
+    on deep narrow sweeps and numpy on wide shallow ones per pattern
+    block (and to bigint everywhere when numpy is not installed).
+    """
     if name == "auto":
-        name = "numpy" if numpy_available() else "bigint"
+        return AdaptiveBackend()
     if name == "numpy":
         return NumpyBackend()
     if name == "bigint":

@@ -280,6 +280,17 @@ class SimEngine:
         return self.words(nets)
 
     @property
+    def resolved_backend(self) -> str:
+        """Concrete backend name behind the current pattern block.
+
+        For the adaptive ``"auto"`` backend this is what the cost model
+        picked at the last ``set_patterns``; explicit backends report
+        their own name.  ``"auto"`` before any patterns are loaded.
+        """
+        choice = getattr(self.backend, "last_choice", None)
+        return choice or self.backend.name
+
+    @property
     def mask(self) -> int:
         """All-ones mask over the currently loaded pattern count."""
         return (1 << self.num_patterns) - 1 if self.num_patterns else 0

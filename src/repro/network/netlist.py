@@ -431,6 +431,26 @@ class Network:
     # ------------------------------------------------------------------
     # misc
     # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Picklable view: listeners and derived caches stay behind.
+
+        Subscribed listeners (timing engines, supergate caches) belong
+        to *this* process; a pickled copy shipped to an evaluation
+        worker must arrive unobserved.  The fanout/topo caches are
+        cheap to rebuild and would only fatten the payload.
+        """
+        state = self.__dict__.copy()
+        state["_listeners"] = None
+        state["_fanout_cache"] = None
+        state["_fanout_version"] = -1
+        state["_topo_cache"] = None
+        state["_topo_version"] = -1
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._listeners = weakref.WeakSet()
+
     def copy(self, name: str | None = None) -> "Network":
         """Deep-copy the network (gate objects are duplicated)."""
         other = Network(name or self.name)

@@ -1,0 +1,37 @@
+"""Parallel candidate evaluation for the post-placement optimizer.
+
+Candidate-move gain projection — "for every site, score every
+alternative against the current timing snapshot" — dominates the
+optimizer's remaining runtime and is embarrassingly parallel: every
+evaluation reads one frozen :class:`~repro.timing.sta.EvalState` and
+mutates nothing.  This package shards that loop:
+
+* :mod:`evaluate` — the per-site selection policy and the deterministic
+  order-tagged merge, shared verbatim by the serial path and the
+  workers so the two can never drift;
+* :mod:`pool` — :class:`EvalPool`, the process/thread pool that ships
+  one snapshot plus one contiguous site shard per worker and falls back
+  to inline evaluation wherever process pools are unavailable.
+
+Invariant: ``optimize(..., workers=N)`` applies the bit-identical move
+sequence for every N (``tests/test_parallel_eval.py``); parallelism
+buys wall time only, never a different answer.
+"""
+
+from .evaluate import (
+    Selection,
+    best_phase_move,
+    evaluate_shard,
+    merge_selections,
+    shard_sites,
+)
+from .pool import EvalPool
+
+__all__ = [
+    "EvalPool",
+    "Selection",
+    "best_phase_move",
+    "evaluate_shard",
+    "merge_selections",
+    "shard_sites",
+]

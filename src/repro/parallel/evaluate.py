@@ -1,0 +1,132 @@
+"""Per-site candidate selection, shared by serial and sharded paths.
+
+The optimizer's inner loop — "for every site, find the move with the
+best projected gain" — is the embarrassingly parallel part of the
+two-phase Coudert loop: every evaluation reads the same frozen timing
+snapshot and touches nothing.  This module holds that loop as pure
+functions so the serial path in :mod:`repro.sizing.coudert` and the
+worker processes of :mod:`repro.parallel.pool` run *the same code* on
+the same inputs; the trajectory-equivalence guarantee of the parallel
+optimizer rests on there being exactly one copy of this policy.
+
+A selection is reported as ``(score, area_delta, move_index)`` rather
+than the move object itself: workers send indices back, and the parent
+resolves them against its own site list — the applied move is always
+the parent's object, and result payloads stay tiny.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from ..library.cells import Library
+    from ..sizing.coudert import Site
+    from ..timing.sta import TimingEngine
+
+#: A site's winning candidate: (score, area delta, index into site.moves).
+Selection = tuple[float, float, int]
+
+
+def best_phase_move(
+    site: "Site",
+    engine: "TimingEngine",
+    library: "Library",
+    metric: str,
+    epsilon: float,
+) -> Selection | None:
+    """The site's best move under the phase metric, or ``None``.
+
+    Mirrors the historical inline loop of ``coudert._phase`` exactly:
+    same gating of area-increasing and worst-slack-wrecking moves, same
+    score/area tie-break, same first-wins ordering over the move list.
+    Any edit here changes the optimizer trajectory — serial and
+    parallel together, which is the point.
+    """
+    best_index: int | None = None
+    best_score = epsilon
+    best_area = 0.0
+    for index, move in enumerate(site.moves):
+        gains = move.gains(engine)
+        score = gains.min_gain if metric == "min" else gains.sum_gain
+        area = move.area_delta(library)
+        if area > epsilon and gains.min_gain < 0.005:
+            # area-increasing moves (new inverters, upsizing) must
+            # buy a real timing win, not noise-level churn
+            continue
+        if metric == "sum" and gains.min_gain < -epsilon:
+            # relaxation must not wreck the local worst slack
+            if not (score > epsilon and gains.min_gain > -0.01):
+                continue
+        if score > best_score or (
+            abs(score - best_score) <= epsilon
+            and area < best_area
+            and best_index is not None
+        ):
+            best_index = index
+            best_score = score
+            best_area = area
+    if best_index is None:
+        return None
+    return (best_score, best_area, best_index)
+
+
+def evaluate_shard(
+    engine: "TimingEngine",
+    library: "Library",
+    shard: Sequence[tuple[int, "Site"]],
+    metric: str,
+    epsilon: float,
+) -> list[tuple[int, Selection | None]]:
+    """Evaluate one shard of ``(site_order, site)`` pairs.
+
+    Runs identically in the parent (serial path) and in a worker that
+    reconstructed *engine* from an :class:`~repro.timing.sta.EvalState`
+    snapshot; the site order tags let the parent merge shards back into
+    the fixed site enumeration order no matter which worker finished
+    first.
+    """
+    return [
+        (order, best_phase_move(site, engine, library, metric, epsilon))
+        for order, site in shard
+    ]
+
+
+def merge_selections(
+    num_sites: int,
+    shard_results: Sequence[Sequence[tuple[int, Selection | None]]],
+) -> list[Selection | None]:
+    """Deterministic merge: scatter tagged results into site order.
+
+    The output is indexed by site order and therefore independent of
+    shard boundaries, worker count and completion order — the parent
+    builds its candidate list from this exactly as the serial path
+    would.
+    """
+    merged: list[Selection | None] = [None] * num_sites
+    for results in shard_results:
+        for order, selection in results:
+            merged[order] = selection
+    return merged
+
+
+def shard_sites(
+    sites: Sequence["Site"], num_shards: int
+) -> list[list[tuple[int, "Site"]]]:
+    """Split sites into ``num_shards`` contiguous, balanced shards.
+
+    Contiguous slices keep each worker's sites structurally close
+    (neighboring sites share fanin cones, so their star/arrival lookups
+    hit the same snapshot regions) and make the shard map trivially
+    reproducible.  Every site keeps its enumeration order tag.
+    """
+    tagged = list(enumerate(sites))
+    num_shards = max(1, min(num_shards, len(tagged)))
+    base, extra = divmod(len(tagged), num_shards)
+    shards: list[list[tuple[int, "Site"]]] = []
+    start = 0
+    for shard_index in range(num_shards):
+        size = base + (1 if shard_index < extra else 0)
+        shards.append(tagged[start:start + size])
+        start += size
+    return shards

@@ -1,0 +1,247 @@
+"""Shared evaluation pool: sharded gain projection over worker processes.
+
+One :class:`EvalPool` lives for a whole ``optimize()`` run.  Per phase,
+the parent exports the timing engine's cached analysis once
+(:meth:`~repro.timing.sta.TimingEngine.export_eval_state`), serializes
+it once, and ships it with one contiguous site shard to each of
+``workers - 1`` worker processes, keeping the first shard to evaluate
+itself against the live engine while they run.  Workers rebuild a
+read-only engine from the snapshot (O(1) beyond unpickling — no STA
+runs) and return ``(site_order, selection)`` pairs;
+the parent merges them back into site-enumeration order, so the
+candidate list — and therefore the applied-move trajectory — is
+bit-identical to the serial path regardless of worker count, shard
+boundaries or completion order.
+
+Degradation is silent but visible: when process pools are unavailable
+(restricted sandboxes, missing ``fork``/``spawn``) or a pool breaks
+mid-run, the pool permanently falls back to in-process evaluation and
+records why in :attr:`EvalPool.fallback_reason`.  Results are identical
+either way — only wall time changes.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import TYPE_CHECKING, Sequence
+
+from .evaluate import (
+    Selection,
+    evaluate_shard,
+    merge_selections,
+    shard_sites,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from ..library.cells import Library
+    from ..sizing.coudert import Site
+    from ..timing.sta import TimingEngine
+
+
+def _evaluate_in_worker(
+    payload: bytes,
+    shard: list[tuple[int, "Site"]],
+    metric: str,
+    epsilon: float,
+) -> list[tuple[int, Selection | None]]:
+    """Worker entry point: rebuild the engine, evaluate one shard.
+
+    Module-level so every start method can import it; the snapshot
+    arrives as explicit pickle bytes (serialized once in the parent,
+    shared by all shards of a phase) rather than re-pickled per task.
+    """
+    from ..timing.sta import TimingEngine
+
+    state = pickle.loads(payload)
+    engine = TimingEngine.from_eval_state(state)
+    return evaluate_shard(engine, state.library, shard, metric, epsilon)
+
+
+class EvalPool:
+    """Worker pool for candidate-gain evaluation with deterministic merge.
+
+    *workers* is the target parallelism, parent included (``workers=4``
+    means three pool processes plus the parent's own shard);
+    ``backend`` picks the executor:
+
+    * ``"process"`` (default) — ``ProcessPoolExecutor`` on the ``fork``
+      context when available (cheap start, no import replay), else the
+      platform default;
+    * ``"thread"``  — ``ThreadPoolExecutor`` sharing the parent engine
+      directly (useful for exercising the sharded code path without
+      process machinery; the GIL serializes the actual math);
+    * ``"serial"``  — no executor at all, evaluation stays inline.
+
+    Evaluation batches smaller than *min_sites* stay inline too: below
+    that, snapshot serialization costs more than it saves.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        backend: str = "process",
+        min_sites: int | None = None,
+    ) -> None:
+        if backend not in ("process", "thread", "serial"):
+            raise ValueError(f"unknown pool backend {backend!r}")
+        self.workers = max(1, int(workers))
+        self.backend = backend if self.workers > 1 else "serial"
+        self.min_sites = (
+            min_sites if min_sites is not None else 2 * self.workers
+        )
+        self.fallback_reason: str | None = None
+        #: counters for benchmarks and tests
+        self.parallel_batches = 0
+        self.inline_batches = 0
+        self.sites_evaluated = 0
+        self._executor: Executor | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """True while sharded evaluation is still on the table."""
+        return self.backend != "serial" and self.fallback_reason is None
+
+    def _ensure_executor(self) -> Executor:
+        if self._executor is None:
+            # the parent evaluates one shard itself, so the executor
+            # only ever sees workers-1 concurrent shards
+            if self.backend == "thread":
+                self._executor = ThreadPoolExecutor(
+                    max_workers=max(1, self.workers - 1),
+                    thread_name_prefix="repro-eval",
+                )
+            else:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=max(1, self.workers - 1),
+                    mp_context=_fork_context(),
+                )
+        return self._executor
+
+    def close(self) -> None:
+        """Shut the executor down (idempotent)."""
+        executor = self._executor
+        self._executor = None
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "EvalPool":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def _degrade(self, reason: str) -> None:
+        self.fallback_reason = reason
+        try:
+            self.close()
+        except Exception:  # pragma: no cover - best-effort teardown
+            pass
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        engine: "TimingEngine",
+        library: "Library",
+        sites: Sequence["Site"],
+        metric: str,
+        epsilon: float,
+    ) -> list[Selection | None]:
+        """Best candidate per site, in site order.
+
+        Exactly equivalent to running
+        :func:`~repro.parallel.evaluate.best_phase_move` over *sites*
+        with the parent *engine* — the sharded path merely computes it
+        on snapshot replicas.
+        """
+        def inline() -> list[Selection | None]:
+            self.inline_batches += 1
+            self.sites_evaluated += len(sites)
+            return [
+                selection for _, selection in evaluate_shard(
+                    engine, library, list(enumerate(sites)), metric, epsilon,
+                )
+            ]
+
+        if not self.active or len(sites) < self.min_sites:
+            return inline()
+        try:
+            merged = self._evaluate_sharded(
+                engine, library, sites, metric, epsilon
+            )
+        except Exception as error:
+            # a broken pool (killed worker, unpicklable payload, sandbox
+            # without process support) must never kill the optimizer:
+            # finish this and every later batch inline
+            self._degrade(f"{type(error).__name__}: {error}")
+            return inline()
+        self.parallel_batches += 1
+        self.sites_evaluated += len(sites)
+        return merged
+
+    def _evaluate_sharded(
+        self,
+        engine: "TimingEngine",
+        library: "Library",
+        sites: Sequence["Site"],
+        metric: str,
+        epsilon: float,
+    ) -> list[Selection | None]:
+        executor = self._ensure_executor()
+        shards = shard_sites(sites, self.workers)
+        # the parent keeps the first shard for itself: while workers
+        # chew on their replicas it scores its share against the live
+        # engine (identical results — the policy is shared and the
+        # replicas are exact), so *workers* counts the parent and the
+        # pool spawns workers-1 processes' worth of remote work
+        local_shard, remote_shards = shards[0], shards[1:]
+        if self.backend == "thread":
+            # threads share the parent's address space: hand them the
+            # live engine instead of a serialized replica
+            futures = [
+                executor.submit(
+                    evaluate_shard, engine, library, shard, metric, epsilon
+                )
+                for shard in remote_shards
+            ]
+        elif remote_shards:
+            payload = pickle.dumps(
+                engine.export_eval_state(),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+            futures = [
+                executor.submit(
+                    _evaluate_in_worker, payload, shard, metric, epsilon
+                )
+                for shard in remote_shards
+            ]
+        else:
+            futures = []
+        local_results = evaluate_shard(
+            engine, library, local_shard, metric, epsilon
+        )
+        shard_results = [local_results] + [
+            future.result() for future in futures
+        ]
+        return merge_selections(len(sites), shard_results)
+
+
+def _fork_context():
+    """The ``fork`` multiprocessing context when the platform has it.
+
+    Forked workers inherit the imported interpreter, so the first
+    evaluation does not replay the package import; platforms without
+    ``fork`` (Windows, some sandboxes) fall back to the default start
+    method.
+    """
+    import multiprocessing
+
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return None

@@ -403,13 +403,17 @@ def run_rapids(
     collect_log: bool = False,
     incremental: bool = True,
     sim_backend: str = "auto",
+    workers: int = 1,
 ) -> RapidsResult:
     """Optimize a placed mapped network in place; returns the report.
 
     With ``check_equivalence`` the optimized network is verified
     functionally identical to the input (always on in the test suite;
     optional in benchmarks for speed); *sim_backend* picks the
-    simulation backend that verification sweep runs on.
+    simulation backend that verification sweep runs on (``"auto"``
+    resolves per sweep shape, see ``repro.logic.simcore.backends``).
+    *workers* > 1 shards candidate-gain evaluation across processes
+    with a serial-identical trajectory (see :mod:`repro.parallel`).
     """
     if mode not in MODES:
         raise ValueError(f"unknown mode {mode!r}; pick one of {MODES}")
@@ -437,6 +441,7 @@ def run_rapids(
         batch_limit=batch_limit,
         collect_log=collect_log,
         incremental=incremental,
+        workers=workers,
     )
     result = RapidsResult(
         mode=mode,

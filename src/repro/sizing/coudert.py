@@ -27,6 +27,13 @@ engine incrementally re-propagates timing through the affected region
 re-running full STA.  ``incremental=False`` restores the historical
 rebuild-everything behaviour for A/B benchmarking
 (``benchmarks/bench_incremental_sta.py``).
+
+With ``workers > 1`` the per-site gain projection of both phases runs
+sharded over an :class:`~repro.parallel.EvalPool`: workers score sites
+against read-only snapshots of the engine's cached analysis and the
+parent merges the selections back in site order, so the trajectory is
+bit-identical to serial (``benchmarks/bench_parallel_eval.py`` measures
+the speedup, ``tests/test_parallel_eval.py`` locks the equivalence).
 """
 
 from __future__ import annotations
@@ -37,6 +44,7 @@ from typing import Callable, Protocol
 
 from ..library.cells import Library
 from ..network.netlist import Network
+from ..parallel import EvalPool, best_phase_move
 from ..place.placement import Placement
 from ..timing.sta import Gains, TimingEngine
 
@@ -125,6 +133,8 @@ def optimize(
     epsilon: float = 1e-9,
     collect_log: bool = False,
     incremental: bool = True,
+    workers: int = 1,
+    eval_pool: EvalPool | None = None,
 ) -> OptimizeResult:
     """Run the two-phase loop; mutates *network* (and placement) in place.
 
@@ -133,7 +143,43 @@ def optimize(
     *incremental* (the default) a single timing engine survives the
     whole run and committed batches propagate through it locally;
     ``incremental=False`` rebuilds a fresh engine after every batch.
+
+    *workers* > 1 shards the per-site candidate-gain projection of both
+    phases across worker processes operating on read-only timing
+    snapshots (see :mod:`repro.parallel`); the applied-move trajectory
+    is bit-identical to the serial run for every worker count.  An
+    externally managed *eval_pool* overrides *workers* (callers that
+    amortize one pool over several ``optimize`` runs).
     """
+    pool = eval_pool
+    own_pool = False
+    if pool is None and workers > 1:
+        pool = EvalPool(workers)
+        own_pool = True
+    try:
+        return _optimize(
+            network, placement, library, site_factory, mode=mode,
+            max_rounds=max_rounds, batch_limit=batch_limit, epsilon=epsilon,
+            collect_log=collect_log, incremental=incremental, pool=pool,
+        )
+    finally:
+        if own_pool and pool is not None:
+            pool.close()
+
+
+def _optimize(
+    network: Network,
+    placement: Placement,
+    library: Library,
+    site_factory: SiteFactory,
+    mode: str,
+    max_rounds: int,
+    batch_limit: int,
+    epsilon: float,
+    collect_log: bool,
+    incremental: bool,
+    pool: EvalPool | None,
+) -> OptimizeResult:
     from ..synth.mapper import network_area
 
     start = time.perf_counter()
@@ -156,7 +202,7 @@ def optimize(
         applied_min = _phase(
             network, placement, library, engine, site_factory,
             metric="min", batch_limit=batch_limit, epsilon=epsilon,
-            result=result, collect_log=collect_log,
+            result=result, collect_log=collect_log, pool=pool,
         )
         engine = _refreshed(engine, incremental)
         if engine.max_delay < best_delay - epsilon:
@@ -165,7 +211,7 @@ def optimize(
         applied_sum = _phase(
             network, placement, library, engine, site_factory,
             metric="sum", batch_limit=batch_limit, epsilon=epsilon,
-            result=result, collect_log=collect_log,
+            result=result, collect_log=collect_log, pool=pool,
         )
         engine = _refreshed(engine, incremental)
         if engine.max_delay < best_delay - epsilon:
@@ -290,37 +336,33 @@ def _phase(
     epsilon: float,
     result: OptimizeResult,
     collect_log: bool,
+    pool: EvalPool | None = None,
 ) -> int:
-    """One greedy batch of the given metric; returns moves applied."""
+    """One greedy batch of the given metric; returns moves applied.
+
+    Per-site candidate selection lives in
+    :func:`repro.parallel.best_phase_move` (one copy of the policy for
+    the serial and the sharded path); with a *pool* the selections are
+    computed on worker-side snapshot replicas and merged back in site
+    order, so the candidate list is identical either way.
+    """
     engine.refresh()
     sites = site_factory(network, engine)
+    if pool is not None:
+        selections = pool.evaluate(engine, library, sites, metric, epsilon)
+    else:
+        selections = [
+            best_phase_move(site, engine, library, metric, epsilon)
+            for site in sites
+        ]
     candidates: list[tuple[float, float, int, Move]] = []
-    for order, site in enumerate(sites):
-        best_move: Move | None = None
-        best_score = epsilon
-        best_area = 0.0
-        for move in site.moves:
-            gains = move.gains(engine)
-            score = gains.min_gain if metric == "min" else gains.sum_gain
-            area = move.area_delta(library)
-            if area > epsilon and gains.min_gain < 0.005:
-                # area-increasing moves (new inverters, upsizing) must
-                # buy a real timing win, not noise-level churn
-                continue
-            if metric == "sum" and gains.min_gain < -epsilon:
-                # relaxation must not wreck the local worst slack
-                if not (score > epsilon and gains.min_gain > -0.01):
-                    continue
-            if score > best_score or (
-                abs(score - best_score) <= epsilon
-                and area < best_area
-                and best_move is not None
-            ):
-                best_move = move
-                best_score = score
-                best_area = area
-        if best_move is not None:
-            candidates.append((best_score, best_area, order, best_move))
+    for order, (site, selection) in enumerate(zip(sites, selections)):
+        if selection is None:
+            continue
+        best_score, best_area, move_index = selection
+        candidates.append(
+            (best_score, best_area, order, site.moves[move_index])
+        )
     candidates.sort(key=lambda item: (-item[0], item[1], item[2]))
     touched: set[str] = set()
     applied = 0

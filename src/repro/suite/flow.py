@@ -37,6 +37,9 @@ class FlowConfig:
     batch_limit: int = 64
     check_equivalence: bool = False
     sim_backend: str = "auto"         # simulation backend for verification
+                                      # ("auto" = adaptive per sweep shape)
+    workers: int = 1                  # gain-evaluation worker processes
+                                      # (trajectory is worker-count-invariant)
     anneal_moves: int | None = None  # None = auto (40 moves per gate)
     presize: bool = True              # timing-driven sizing before placement
 
@@ -94,7 +97,7 @@ def prepare_benchmark(
             anneal_moves=anneal_moves // 2,
         )
         run_rapids(network, proxy, library, mode="gs", max_rounds=6,
-                   batch_limit=config.batch_limit)
+                   batch_limit=config.batch_limit, workers=config.workers)
     placement = place(
         network, library, seed=config.place_seed,
         anneal_moves=anneal_moves,
@@ -146,6 +149,7 @@ def run_benchmark(
             batch_limit=config.batch_limit,
             check_equivalence=config.check_equivalence,
             sim_backend=config.sim_backend,
+            workers=config.workers,
         )
     if all(mode in outcome.results for mode in MODES):
         outcome.row = build_row(

@@ -88,6 +88,33 @@ class TimingStats:
         }
 
 
+@dataclass
+class EvalState:
+    """Picklable read-only snapshot of everything gain projection needs.
+
+    Produced by :meth:`TimingEngine.export_eval_state` and consumed by
+    :meth:`TimingEngine.from_eval_state` — typically on the other side
+    of a process boundary (``repro.parallel``).  The snapshot carries
+    the engine's *cached* analysis results verbatim (arrival times,
+    slacks, star RC models, logic levels), never recomputed state, so
+    a reconstructed engine projects bit-identical gains: pickling
+    round-trips floats exactly and the what-if code paths are shared.
+    """
+
+    network: Network
+    placement: Placement
+    library: Library
+    period: float | None
+    po_pad_cap: float
+    arrival: dict[str, tuple[float, float]]
+    slack: dict[str, float]
+    stars: dict[str, "StarNet"]
+    levels: dict[str, int]
+    req0: dict[str, tuple[float, float]]
+    max_delay: float
+    version: int
+
+
 class Gains(NamedTuple):
     """Projected local effect of a candidate move.
 
@@ -541,6 +568,66 @@ class TimingEngine:
             rise = min(rise, pin_rise_budget - wire)
             fall = min(fall, pin_fall_budget - wire)
         return (rise, fall)
+
+    # ------------------------------------------------------------------
+    # snapshot export (parallel gain evaluation)
+    # ------------------------------------------------------------------
+    def export_eval_state(self) -> EvalState:
+        """Snapshot the cached analysis for read-only gain projection.
+
+        The returned :class:`EvalState` is picklable (the network drops
+        its listeners on serialization) and references the engine's
+        live caches without copying — callers must treat it as frozen
+        and serialize it before the next committed batch.  A worker
+        rebuilt from it via :meth:`from_eval_state` computes
+        :meth:`swap_gain` / :meth:`resize_gain` bit-identically to this
+        engine.
+        """
+        self.refresh()
+        return EvalState(
+            network=self.network,
+            placement=self.placement,
+            library=self.library,
+            period=self.period,
+            po_pad_cap=self.po_pad_cap,
+            arrival=self.arrival,
+            slack=self.slack,
+            stars=self.stars,
+            levels=self._levels,
+            req0=self._req0,
+            max_delay=self.max_delay,
+            version=self.network.version,
+        )
+
+    @classmethod
+    def from_eval_state(cls, state: EvalState) -> "TimingEngine":
+        """Engine over a snapshot, ready for what-if evaluation.
+
+        No analysis runs: the cached dicts — including the zero-target
+        required pairs the incremental backward pass consumes — are
+        adopted verbatim, so the reconstruction cost is O(1) beyond
+        unpickling.  The primary use is the non-mutating projection
+        surface (``swap_gain``, ``resize_gain``, ``slack``,
+        ``worst_arrival``); committing moves through the replica also
+        works and triggers the normal incremental machinery against
+        the snapshot's network copy.
+        """
+        engine = cls(
+            state.network, state.placement, state.library,
+            period=state.period, po_pad_cap=state.po_pad_cap,
+        )
+        engine.arrival = state.arrival
+        engine.slack = state.slack
+        engine.stars = state.stars
+        engine._levels = state.levels
+        engine._req0 = state.req0
+        engine.max_delay = state.max_delay
+        engine._target = (
+            state.period if state.period is not None else state.max_delay
+        )
+        engine._analyzed_version = state.version
+        engine._needs_full = False
+        return engine
 
     # ------------------------------------------------------------------
     # reporting

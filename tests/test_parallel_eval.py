@@ -1,0 +1,267 @@
+"""Serial ≡ parallel: sharded gain evaluation must change nothing.
+
+The contract of ``repro.parallel``: ``optimize(..., workers=N)`` walks
+the bit-identical applied-move trajectory for every N — same move log,
+same final delay, same final area — because workers score sites with
+the same policy (:func:`repro.parallel.best_phase_move`) against exact
+snapshots of the parent engine's cached analysis, and the parent merges
+selections back in site-enumeration order.  These tests pin that
+contract from the bottom (snapshot round-trip projects identical
+gains) to the top (whole-flow fingerprints are worker-count- and
+hash-seed-invariant across subprocesses).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import subprocess
+import sys
+
+import pytest
+
+from repro.library.cells import default_library
+from repro.parallel import (
+    EvalPool,
+    best_phase_move,
+    merge_selections,
+    shard_sites,
+)
+from repro.rapids.engine import run_rapids
+from repro.sizing.moves import resize_sites
+from repro.synth.mapper import map_network
+from repro.place.placer import place
+from repro.timing.sta import TimingEngine
+
+from helpers import random_network
+
+WORKER_COUNTS = [1, 2, 4]
+
+_FORK_AVAILABLE = "fork" in multiprocessing.get_all_start_methods()
+
+
+def _placed_design(seed: int, num_gates: int = 50):
+    library = default_library()
+    network = random_network(
+        seed, num_inputs=8, num_gates=num_gates, num_outputs=4
+    )
+    map_network(network, library)
+    placement = place(network, library, seed=seed, anneal_moves=1500)
+    return network, placement, library
+
+
+def _trajectory(seed: int, workers: int):
+    network, placement, library = _placed_design(seed)
+    result = run_rapids(
+        network, placement, library, mode="gsg_gs",
+        collect_log=True, workers=workers,
+    )
+    opt = result.optimize
+    return (
+        tuple(opt.move_log),
+        opt.final_delay,
+        opt.final_area,
+        opt.moves_applied,
+        opt.rounds,
+    )
+
+
+# ----------------------------------------------------------------------
+# the headline property: identical trajectories for every worker count
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", [3, 11])
+def test_optimize_trajectory_worker_count_invariant(seed):
+    trajectories = {n: _trajectory(seed, n) for n in WORKER_COUNTS}
+    reference = trajectories[1]
+    assert reference[0], f"seed {seed}: serial run applied no moves"
+    for workers, trajectory in trajectories.items():
+        assert trajectory == reference, (
+            f"seed {seed}: workers={workers} diverged from serial"
+        )
+
+
+@pytest.mark.skipif(not _FORK_AVAILABLE, reason="no fork start method")
+def test_parallel_batches_actually_run_in_the_pool():
+    """The equivalence above must not hold vacuously: with a pool the
+    sharded path has to execute (no silent fallback to inline)."""
+    network, placement, library = _placed_design(7)
+    from repro.rapids.engine import _gsg_gs_factory
+    from repro.sizing.coudert import optimize
+
+    with EvalPool(2, min_sites=1) as pool:
+        optimize(
+            network, placement, library, _gsg_gs_factory(library),
+            eval_pool=pool,
+        )
+        assert pool.fallback_reason is None
+        assert pool.parallel_batches > 0
+        assert pool.sites_evaluated > 0
+
+
+# ----------------------------------------------------------------------
+# snapshot round-trip: a worker's engine projects identical gains
+# ----------------------------------------------------------------------
+def test_eval_state_pickle_roundtrip_projects_identical_gains():
+    network, placement, library = _placed_design(5, num_gates=40)
+    engine = TimingEngine(network, placement, library)
+    engine.analyze()
+    state = pickle.loads(pickle.dumps(engine.export_eval_state()))
+    replica = TimingEngine.from_eval_state(state)
+    sites = resize_sites(network, library)
+    assert sites
+    for site in sites:
+        for move in site.moves:
+            assert move.gains(engine) == move.gains(replica), site.key
+    # the policy on top of the gains agrees too, bit for bit
+    for metric in ("min", "sum"):
+        for site in sites:
+            assert best_phase_move(
+                site, engine, library, metric, 1e-9
+            ) == best_phase_move(site, replica, state.library, metric, 1e-9)
+
+
+def test_replica_engine_survives_committing_moves():
+    """The snapshot carries the backward-pass cache (req0) too, so a
+    replica is a full engine: committing a move through it must update
+    incrementally to the same answer as the parent."""
+    network, placement, library = _placed_design(23, num_gates=30)
+    engine = TimingEngine(network, placement, library)
+    engine.analyze()
+    state = pickle.loads(pickle.dumps(engine.export_eval_state()))
+    replica = TimingEngine.from_eval_state(state)
+    site = resize_sites(network, library)[0]
+    move = site.moves[0]
+    move.apply(network, library)
+    engine.refresh()
+    move.apply(state.network, state.library)
+    replica.refresh()
+    assert replica.max_delay == engine.max_delay
+    assert replica.slack == engine.slack
+    assert replica.arrival == engine.arrival
+
+
+def test_pickled_network_arrives_unobserved():
+    """Listeners (engines, caches) must not travel with the snapshot."""
+    network, placement, library = _placed_design(9, num_gates=30)
+    engine = TimingEngine(network, placement, library)
+    engine.analyze()
+    clone = pickle.loads(pickle.dumps(network))
+    assert len(clone._listeners) == 0
+    assert list(clone.gate_names()) == list(network.gate_names())
+    assert clone.topo_order() == network.topo_order()
+
+
+# ----------------------------------------------------------------------
+# merge determinism: shard boundaries and completion order are invisible
+# ----------------------------------------------------------------------
+def test_shard_sites_is_a_balanced_contiguous_partition():
+    sites = [object() for _ in range(11)]
+    for num_shards in (1, 2, 3, 4, 11, 50):
+        shards = shard_sites(sites, num_shards)
+        flat = [tag for shard in shards for tag in shard]
+        assert [order for order, _ in flat] == list(range(len(sites)))
+        assert [site for _, site in flat] == sites
+        sizes = [len(shard) for shard in shards]
+        assert max(sizes) - min(sizes) <= 1  # balanced
+        assert len(shards) <= max(1, min(num_shards, len(sites)))
+
+
+def test_merge_selections_ignores_shard_boundaries_and_order():
+    selections = [(float(i), -float(i), i % 3) for i in range(9)]
+    tagged = list(enumerate(selections))
+    splits = [
+        [tagged],                                  # one shard
+        [tagged[:4], tagged[4:]],                  # two shards
+        [tagged[6:], tagged[:3], tagged[3:6]],     # shuffled completion
+        [[pair] for pair in reversed(tagged)],     # one site per shard
+    ]
+    for shard_results in splits:
+        assert merge_selections(len(selections), shard_results) == selections
+
+
+# ----------------------------------------------------------------------
+# degradation: a broken pool falls back inline with identical results
+# ----------------------------------------------------------------------
+def test_pool_degrades_to_inline_on_executor_failure(monkeypatch):
+    network, placement, library = _placed_design(13, num_gates=35)
+    engine = TimingEngine(network, placement, library)
+    engine.analyze()
+    sites = resize_sites(network, library)
+    serial = [
+        best_phase_move(site, engine, library, "min", 1e-9)
+        for site in sites
+    ]
+    pool = EvalPool(2, min_sites=1)
+
+    def boom(*_args, **_kwargs):
+        raise OSError("no processes in this sandbox")
+
+    monkeypatch.setattr(pool, "_evaluate_sharded", boom)
+    got = pool.evaluate(engine, library, sites, "min", 1e-9)
+    assert got == serial
+    assert pool.fallback_reason is not None
+    assert not pool.active
+    # later batches stay inline, no retry storm
+    again = pool.evaluate(engine, library, sites, "min", 1e-9)
+    assert again == serial
+    assert pool.inline_batches == 2
+    pool.close()
+
+
+def test_thread_backend_matches_serial_exactly():
+    """The sharded code path itself (minus processes) changes nothing."""
+    network, placement, library = _placed_design(17, num_gates=35)
+    engine = TimingEngine(network, placement, library)
+    engine.analyze()
+    sites = resize_sites(network, library)
+    serial = [
+        best_phase_move(site, engine, library, "sum", 1e-9)
+        for site in sites
+    ]
+    with EvalPool(3, backend="thread", min_sites=1) as pool:
+        assert pool.evaluate(engine, library, sites, "sum", 1e-9) == serial
+        assert pool.parallel_batches == 1
+
+
+# ----------------------------------------------------------------------
+# whole-flow fingerprint: worker-count- and hash-seed-invariant
+# ----------------------------------------------------------------------
+_FINGERPRINT_SCRIPT = """
+from repro.suite.flow import FlowConfig, trajectory_fingerprint
+
+config = FlowConfig(
+    scale=0.08, max_rounds=2, anneal_moves=1500, workers={workers},
+)
+print(trajectory_fingerprint("alu2", config))
+"""
+
+
+def _flow_fingerprint(workers: int, hashseed: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hashseed
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    result = subprocess.run(
+        [sys.executable, "-c", _FINGERPRINT_SCRIPT.format(workers=workers)],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+        timeout=300,
+    )
+    return result.stdout.strip()
+
+
+def test_flow_fingerprint_worker_count_invariant():
+    """test_determinism's contract, extended over the workers axis: the
+    fingerprint must survive worker count and hash seed changing at
+    once (each subprocess varies both)."""
+    fingerprints = {
+        (workers, hashseed): _flow_fingerprint(workers, hashseed)
+        for workers, hashseed in ((1, "1"), (2, "4242"), (4, "random"))
+    }
+    assert len(set(fingerprints.values())) == 1, (
+        "flow trajectory depends on worker count or hash seed: "
+        + ", ".join(f"{key}->{fp}" for key, fp in fingerprints.items())
+    )

@@ -17,14 +17,18 @@ from repro.atpg.faults import all_faults
 from repro.atpg.podem import find_test, generate_tests
 from repro.atpg.redundancy import untestable_fault_count
 from repro.logic.simcore import (
+    AdaptiveBackend,
     FaultSimulator,
     SimEngine,
+    choose_backend,
     compile_network,
+    estimate_sweep_costs,
     get_compiled,
     make_backend,
     numpy_available,
     pack_tests,
     random_pattern_block,
+    sweep_shape,
 )
 from repro.logic.simulate import random_words, simulate, truth_tables
 from repro.network.builder import NetworkBuilder
@@ -116,6 +120,162 @@ def test_constants_and_wide_gates(backend):
         assert engine.words() == simulate(
             net, assignments, mask=(1 << width) - 1
         )
+
+
+# ----------------------------------------------------------------------
+# adaptive "auto" backend: shape-driven choice, bit-identical results
+# ----------------------------------------------------------------------
+def _deep_narrow_chain(depth: int = 160):
+    """Alternating INV/NAND2 chain: one gate per level, width <= 2."""
+    builder = NetworkBuilder("chain")
+    head, side = builder.inputs(2)
+    current = head
+    for step in range(depth):
+        if step % 2:
+            current = builder.gate(GateType.NAND, current, side,
+                                   name=f"n{step}")
+        else:
+            current = builder.gate(GateType.INV, current, name=f"n{step}")
+    builder.output(current)
+    return builder.build()
+
+
+def _wide_shallow_xor(levels: int = 4, width: int = 144,
+                      num_inputs: int = 48):
+    """c499-flavoured XOR mesh: few levels, >100 same-op gates each."""
+    builder = NetworkBuilder("wide")
+    current = builder.inputs(num_inputs)
+    for level in range(levels):
+        current = [
+            builder.gate(
+                GateType.XOR,
+                current[k % len(current)],
+                current[(k * 7 + 3) % len(current)],
+                name=f"l{level}_{k}",
+            )
+            for k in range(width)
+        ]
+    for net in current[::3]:
+        builder.output(net)
+    return builder.build()
+
+
+@pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+def test_auto_resolves_bigint_on_deep_narrow_chain():
+    """One-gate level groups leave numpy nothing to amortize its ufunc
+    dispatch over: bigint wins deep narrow control logic at every
+    measured block width (the regime bench_simulate recorded)."""
+    net = _deep_narrow_chain()
+    compiled = get_compiled(net)
+    shape = sweep_shape(compiled)
+    assert shape.mean_group_size <= 2.0  # genuinely narrow
+    for width in (64, 256, 4096):
+        assert choose_backend(compiled, width) == "bigint", width
+    engine = SimEngine(net, "auto")
+    engine.set_random_patterns(width=64, seed=0)
+    assert engine.resolved_backend == "bigint"
+
+
+@pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+def test_auto_resolves_numpy_on_wide_shallow_xor():
+    net = _wide_shallow_xor()
+    compiled = get_compiled(net)
+    shape = sweep_shape(compiled)
+    assert shape.mean_group_size >= 16.0  # genuinely wide
+    for width in (64, 256, 4096):
+        assert choose_backend(compiled, width) == "numpy", width
+    engine = SimEngine(net, "auto")
+    engine.set_random_patterns(width=64, seed=0)
+    assert engine.resolved_backend == "numpy"
+
+
+def test_auto_without_numpy_is_bigint_everywhere(monkeypatch):
+    import repro.logic.simcore.backends as backends_module
+
+    monkeypatch.setattr(backends_module, "_np", None)
+    nets = (
+        _deep_narrow_chain(40),
+        _wide_shallow_xor(levels=2, width=48, num_inputs=24),
+    )
+    for net in nets:
+        compiled = compile_network(net)
+        assert backends_module.choose_backend(compiled, 64) == "bigint"
+        backend = backends_module.make_backend("auto")
+        assert backend.resolve(compiled, 64).name == "bigint"
+
+
+def test_sweep_costs_are_shape_monotone():
+    """More words must never make a backend look cheaper."""
+    compiled = get_compiled(_deep_narrow_chain(60))
+    previous = (0.0, 0.0)
+    for width in (1, 64, 256, 1024):
+        costs = estimate_sweep_costs(compiled, width)
+        assert costs[0] >= previous[0] and costs[1] >= previous[1]
+        previous = costs
+
+
+@pytest.mark.parametrize(
+    "net_builder", [_deep_narrow_chain, _wide_shallow_xor],
+    ids=["chain", "wide-xor"],
+)
+def test_auto_bit_identical_to_both_explicit_backends(net_builder):
+    """Whatever "auto" picks, every word matches both explicit
+    backends — including widths that are not multiples of 64."""
+    net = net_builder()
+    engines = {name: SimEngine(net, name) for name in ["auto"] + BACKENDS}
+    for width in (1, 63, 65, 100, 257):
+        assignments = random_words(net.inputs, width=width, seed=width)
+        words = {}
+        for name, engine in engines.items():
+            engine.set_patterns(assignments, width)
+            words[name] = engine.words()
+        for name in BACKENDS:
+            assert words["auto"] == words[name], (net.name, width, name)
+
+
+@pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+def test_adaptive_state_survives_incremental_resimulation():
+    """The choice travels with the state: mutate + resimulate on an
+    auto engine must keep matching the reference walker."""
+    net = random_network(21, num_inputs=6, num_gates=25, num_outputs=3)
+    engine = SimEngine(net, "auto")
+    assert isinstance(engine.backend, AdaptiveBackend)
+    rng = random.Random(21)
+    assignments = random_words(net.inputs, width=100, seed=21)
+    engine.set_patterns(assignments, 100)
+    for _ in range(15):
+        _random_safe_mutation(net, rng)
+        engine.resimulate()
+        assert engine.words() == simulate(net, assignments, (1 << 100) - 1)
+
+
+# ----------------------------------------------------------------------
+# import surface: the package facade is the supported entry point
+# ----------------------------------------------------------------------
+def test_simcore_import_surface_is_complete():
+    """Everything consumers need importable from ``repro.logic.simcore``
+    itself (not its submodules), declared in ``__all__``, and resolvable."""
+    import repro.logic.simcore as simcore
+
+    required = {
+        "SimEngine", "get_compiled", "FaultSimulator",
+        "AdaptiveBackend", "BigintBackend", "NumpyBackend", "SimBackend",
+        "CompiledNetwork", "SweepShape", "choose_backend",
+        "compile_network", "estimate_sweep_costs", "eval_word",
+        "fault_simulate", "make_backend", "numpy_available",
+        "pack_tests", "random_pattern_block", "sweep_shape",
+    }
+    missing = required - set(simcore.__all__)
+    assert not missing, f"missing from simcore __all__: {sorted(missing)}"
+    for name in simcore.__all__:
+        assert getattr(simcore, name, None) is not None, name
+    # the logic package facade re-exports the engine-level surface too
+    import repro.logic as logic
+
+    for name in ("SimEngine", "get_compiled", "FaultSimulator",
+                 "AdaptiveBackend", "choose_backend", "sweep_shape"):
+        assert getattr(logic, name) is getattr(simcore, name), name
+        assert name in logic.__all__, name
 
 
 # ----------------------------------------------------------------------
