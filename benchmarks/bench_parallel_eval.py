@@ -17,7 +17,14 @@ Checked properties:
 * **speed** — at ``REPRO_BENCH_WORKERS`` workers (default 4) the
   sharded path must be at least ``1.3x`` faster in aggregate over the
   set (``1.1x`` at 2 workers; the assertion is skipped on single-core
-  machines where no start method can buy parallelism).
+  machines where no start method can buy parallelism);
+* **payload** — after the first batch of a session the parent ships
+  cross-batch snapshot *deltas* instead of the full eval state
+  (:mod:`repro.parallel.snapshot`); steady-state delta payloads must
+  be under half the full-snapshot size (in practice ~100x smaller
+  when the engine is idle between batches, and still several times
+  smaller mid-optimization — ``tests/test_parallel_eval.py`` covers
+  the mutating case).
 
 ``REPRO_BENCH_SET=quick`` trims the circuit list for CI smoke runs.
 """
@@ -145,4 +152,30 @@ def test_aggregate_speedup_floor():
         f"sharded evaluation at {WORKERS} workers is only {speedup:.2f}x "
         f"faster in aggregate (floor {MIN_AGGREGATE_SPEEDUP}x at "
         f"{EFFECTIVE}-way effective parallelism)"
+    )
+
+
+def test_snapshot_payload_shrinkage():
+    """Cross-batch diffing must shrink the steady-state payload.
+
+    Each circuit above ran three evaluation rounds on one engine: the
+    first ships a full baseline (and every engine change rebases), the
+    later rounds ship deltas.  The mean delta must come in far below
+    the mean full snapshot — the ROADMAP open item this closes."""
+    stats = _POOL.snapshot.stats
+    if stats.full_batches == 0:
+        pytest.skip("pool never shipped a snapshot (inline fallback)")
+    print(
+        f"\nsnapshot payloads: {stats.full_batches} full "
+        f"({stats.mean_full_bytes():.0f} B avg), {stats.delta_batches} "
+        f"delta ({stats.mean_delta_bytes():.0f} B avg), "
+        f"{stats.stale_shards} stale retries -> "
+        f"{stats.mean_full_bytes() / max(stats.mean_delta_bytes(), 1):.0f}x "
+        f"smaller steady-state"
+    )
+    assert stats.delta_batches > 0, "no batch ever rode the delta path"
+    assert stats.mean_delta_bytes() < 0.5 * stats.mean_full_bytes(), (
+        f"deltas average {stats.mean_delta_bytes():.0f} B against "
+        f"{stats.mean_full_bytes():.0f} B full snapshots — diffing is "
+        f"not paying for itself"
     )

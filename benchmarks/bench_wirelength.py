@@ -1,0 +1,192 @@
+"""Interpreted vs engine-batched wirelength rewiring — Section 5 at speed.
+
+Each quick-set circuit is prepared once (generate → map → place); its
+first-pass leaf-swap candidate set then feeds the exact unit PR 4
+vectorized: price every candidate's HPWL delta.  That unit runs twice —
+
+* **interpreted** — the historical loop replicated verbatim: trial
+  apply on the live network, two ``net_hpwl`` terminal walks, revert
+  (each trial bumps the version, so every subscribed engine sees two
+  mutation events and the fanout map rebuilds on the next walk);
+* **engine** — one :class:`repro.place.hpwl.WirelengthEngine` batch:
+  extrema gathered once, deltas computed arithmetically, zero
+  mutation, zero events.
+
+Checked properties:
+
+* **agreement** — engine deltas equal the interpreted ones bit for bit
+  (both are pure extrema selections over the same multisets);
+* **speed** — engine-batched scoring is at least **5x** faster in
+  aggregate over the set (the PR-4 acceptance floor);
+* **quality** — a full batched ``reduce_wirelength`` run ends at a
+  final HPWL no worse than the greedy reference on *every* circuit,
+  and both paths leave the network functionally equivalent to the
+  input (``networks_equivalent``).
+
+``REPRO_BENCH_SET=quick`` trims the circuit list for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.place.hpwl import WirelengthEngine
+from repro.place.placement import net_hpwl, total_hpwl
+from repro.rapids.wirelength import reduce_wirelength
+from repro.suite.flow import FlowConfig, prepare_benchmark
+from repro.symmetry.supergate import extract_supergates
+from repro.symmetry.swap import enumerate_swaps
+
+from bench_helpers import QUICK_SET, quick_mode
+
+#: The acceptance criterion: engine-batched candidate scoring must be
+#: at least this much faster than the interpreted loop in aggregate.
+MIN_SCORING_SPEEDUP = 5.0
+#: Scoring repetitions per circuit (the batched path re-scores the
+#: candidate set once per commit iteration, so repetition is realistic).
+ROUNDS = 3
+
+#: name -> (interpreted s, engine s, candidates)
+_TIMES: dict[str, tuple[float, float, int]] = {}
+#: name -> (greedy final hpwl, batched final hpwl)
+_QUALITY: dict[str, tuple[float, float]] = {}
+
+_HEADER = (
+    f"{'ckt':<8}{'gates':>6}{'cands':>7}"
+    f"{'interp-s':>10}{'engine-s':>10}{'speedup':>9}"
+)
+
+
+def bench_names() -> list[str]:
+    """Three circuits for the CI smoke run, the full quick set otherwise."""
+    return QUICK_SET[:3] if quick_mode() else QUICK_SET
+
+
+def _leaf_candidates(network):
+    sgn = extract_supergates(network)
+    pairs = []
+    for sg in sgn.nontrivial():
+        for swap in enumerate_swaps(
+            sg, leaves_only=True, include_inverting=False, network=network
+        ):
+            pairs.append((swap.pin_a, swap.pin_b))
+    return pairs
+
+
+def _interpreted_delta(network, placement, pin_a, pin_b) -> float:
+    """The pre-PR-4 pricing loop, verbatim: trial apply, walk, revert."""
+    net_a = network.fanin_net(pin_a)
+    net_b = network.fanin_net(pin_b)
+    if net_a == net_b:
+        return 0.0
+    before = net_hpwl(network, placement, net_a) + net_hpwl(
+        network, placement, net_b
+    )
+    network.swap_fanins(pin_a, pin_b)
+    after = net_hpwl(network, placement, net_a) + net_hpwl(
+        network, placement, net_b
+    )
+    network.swap_fanins(pin_a, pin_b)
+    return after - before
+
+
+@pytest.mark.parametrize("name", bench_names())
+def test_engine_scoring_agrees_and_speeds_up(name, library):
+    outcome = prepare_benchmark(name, FlowConfig(), library)
+    network, placement = outcome.network, outcome.placement
+    pairs = _leaf_candidates(network)
+    assert pairs, f"{name}: no swap candidates"
+
+    # time the interpreted loop first, before any WirelengthEngine
+    # subscribes: its trial mutations must not be charged the event
+    # handling of the very engine it is being compared against
+    interpreted_seconds = 0.0
+    interpreted = None
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        interpreted = [
+            _interpreted_delta(network, placement, pin_a, pin_b)
+            for pin_a, pin_b in pairs
+        ]
+        interpreted_seconds += time.perf_counter() - start
+
+    # the engine side pays for its own flattening: construction +
+    # first refresh are inside the timed region
+    start = time.perf_counter()
+    engine = WirelengthEngine(network, placement)
+    engine_deltas = engine.score_swaps(pairs)
+    engine_seconds = time.perf_counter() - start
+    for _ in range(ROUNDS - 1):
+        start = time.perf_counter()
+        engine_deltas = engine.score_swaps(pairs)
+        engine_seconds += time.perf_counter() - start
+    # agreement: pure extrema selection — bit-for-bit, not approx
+    assert engine_deltas == interpreted, name
+
+    speedup = (
+        interpreted_seconds / engine_seconds if engine_seconds else 0.0
+    )
+    print()
+    print(_HEADER)
+    print(
+        f"{name:<8}{len(network):>6d}{len(pairs):>7d}"
+        f"{interpreted_seconds:>10.3f}{engine_seconds:>10.3f}"
+        f"{speedup:>8.1f}x"
+    )
+    _TIMES[name] = (interpreted_seconds, engine_seconds, len(pairs))
+
+
+@pytest.mark.parametrize("name", bench_names())
+def test_batched_final_hpwl_no_worse_than_greedy(name, library):
+    from repro.verify.equiv import networks_equivalent
+
+    outcome = prepare_benchmark(name, FlowConfig(), library)
+    reference = outcome.network
+
+    greedy_net = reference.copy()
+    greedy_pl = outcome.placement.copy()
+    greedy = reduce_wirelength(greedy_net, greedy_pl, batched=False)
+    assert networks_equivalent(reference, greedy_net), name
+
+    batched_net = reference.copy()
+    batched_pl = outcome.placement.copy()
+    batched = reduce_wirelength(batched_net, batched_pl, batched=True)
+    assert networks_equivalent(reference, batched_net), name
+    assert batched.final_hpwl == pytest.approx(
+        total_hpwl(batched_net, batched_pl), abs=1e-6
+    )
+
+    print(
+        f"\n{name}: hpwl {greedy.initial_hpwl:.0f} -> "
+        f"greedy {greedy.final_hpwl:.0f} "
+        f"({greedy.swaps_applied} swaps/{greedy.passes}p) | "
+        f"batched {batched.final_hpwl:.0f} "
+        f"({batched.swaps_applied}+{batched.cross_swaps_applied}x/"
+        f"{batched.passes}p)"
+    )
+    _QUALITY[name] = (greedy.final_hpwl, batched.final_hpwl)
+    assert batched.final_hpwl <= greedy.final_hpwl + 1e-6, (
+        f"{name}: batched ended at {batched.final_hpwl:.1f} um, worse "
+        f"than greedy's {greedy.final_hpwl:.1f} um"
+    )
+
+
+def test_aggregate_scoring_speedup_floor():
+    """The acceptance criterion: >= 5x candidate scoring over the set."""
+    if not _TIMES:
+        pytest.skip("per-circuit benches were deselected")
+    interpreted_total = sum(t for t, _, _ in _TIMES.values())
+    engine_total = sum(t for _, t, _ in _TIMES.values())
+    candidates = sum(c for _, _, c in _TIMES.values())
+    speedup = interpreted_total / engine_total
+    print(
+        f"\naggregate over {sorted(_TIMES)}: {candidates} candidates x "
+        f"{ROUNDS} rounds, interpreted={interpreted_total:.3f}s "
+        f"engine={engine_total:.3f}s -> {speedup:.1f}x"
+    )
+    assert speedup >= MIN_SCORING_SPEEDUP, (
+        f"engine-batched scoring is only {speedup:.1f}x faster than the "
+        f"interpreted loop (floor {MIN_SCORING_SPEEDUP}x)"
+    )

@@ -34,11 +34,15 @@ def wirelength_demo() -> None:
     reference = network.copy()
     placement_before = placement.copy()
 
-    result = reduce_wirelength(network, placement)
+    result = reduce_wirelength(network, placement)  # batched engine path
     print(f"k2-style control logic: {len(network)} gates")
     print(f"  HPWL {result.initial_hpwl:.0f} -> {result.final_hpwl:.0f} um "
           f"({result.improvement_percent:+.1f}%) with "
-          f"{result.swaps_applied} swaps in {result.passes} passes")
+          f"{result.swaps_applied} swaps + "
+          f"{result.cross_swaps_applied} cross exchanges in "
+          f"{result.passes} passes "
+          f"({result.candidates_scored} candidates priced, "
+          f"zero trial mutations)")
     audit = perturbation(placement_before, placement)
     print(f"  cells moved: {audit['moved_cells']:.0f}, "
           f"added: {audit['added_cells']:.0f} (placement untouched)")

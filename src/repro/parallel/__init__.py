@@ -11,7 +11,11 @@ mutates nothing.  This package shards that loop:
   workers so the two can never drift;
 * :mod:`pool` — :class:`EvalPool`, the process/thread pool that ships
   one snapshot plus one contiguous site shard per worker and falls back
-  to inline evaluation wherever process pools are unavailable.
+  to inline evaluation wherever process pools are unavailable;
+* :mod:`snapshot` — the cross-batch snapshot differ: workers cache the
+  first full :class:`~repro.timing.sta.EvalState` of a session and
+  later batches ship only the nets dirtied since that baseline,
+  shrinking steady-state payloads by an order of magnitude.
 
 Invariant: ``optimize(..., workers=N)`` applies the bit-identical move
 sequence for every N (``tests/test_parallel_eval.py``); parallelism
@@ -26,10 +30,20 @@ from .evaluate import (
     shard_sites,
 )
 from .pool import EvalPool
+from .snapshot import (
+    EvalDelta,
+    EvalSnapshotCodec,
+    SnapshotStats,
+    apply_delta,
+)
 
 __all__ = [
+    "EvalDelta",
     "EvalPool",
+    "EvalSnapshotCodec",
     "Selection",
+    "SnapshotStats",
+    "apply_delta",
     "best_phase_move",
     "evaluate_shard",
     "merge_selections",

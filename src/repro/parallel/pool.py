@@ -22,7 +22,6 @@ either way — only wall time changes.
 
 from __future__ import annotations
 
-import pickle
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import TYPE_CHECKING, Sequence
 
@@ -32,6 +31,7 @@ from .evaluate import (
     merge_selections,
     shard_sites,
 )
+from .snapshot import EvalSnapshotCodec, decode as _decode_snapshot
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from ..library.cells import Library
@@ -44,18 +44,24 @@ def _evaluate_in_worker(
     shard: list[tuple[int, "Site"]],
     metric: str,
     epsilon: float,
-) -> list[tuple[int, Selection | None]]:
+) -> tuple[str, list[tuple[int, Selection | None]] | None]:
     """Worker entry point: rebuild the engine, evaluate one shard.
 
     Module-level so every start method can import it; the snapshot
-    arrives as explicit pickle bytes (serialized once in the parent,
-    shared by all shards of a phase) rather than re-pickled per task.
+    arrives as explicit payload bytes (serialized once in the parent,
+    shared by all shards of a phase) — either a full baseline this
+    process caches, or a delta against a cached baseline (see
+    :mod:`repro.parallel.snapshot`).  Returns ``("stale", None)`` when
+    the delta references a baseline this process never received; the
+    parent then evaluates the shard itself.
     """
     from ..timing.sta import TimingEngine
 
-    state = pickle.loads(payload)
+    state = _decode_snapshot(payload)
+    if state is None:
+        return ("stale", None)
     engine = TimingEngine.from_eval_state(state)
-    return evaluate_shard(engine, state.library, shard, metric, epsilon)
+    return ("ok", evaluate_shard(engine, state.library, shard, metric, epsilon))
 
 
 class EvalPool:
@@ -95,6 +101,9 @@ class EvalPool:
         self.parallel_batches = 0
         self.inline_batches = 0
         self.sites_evaluated = 0
+        #: cross-batch snapshot differ (process backend only); its
+        #: ``stats`` record full/delta payload sizes and stale retries
+        self.snapshot = EvalSnapshotCodec()
         self._executor: Executor | None = None
 
     # ------------------------------------------------------------------
@@ -209,15 +218,22 @@ class EvalPool:
                 )
                 for shard in remote_shards
             ]
-        elif remote_shards:
-            payload = pickle.dumps(
-                engine.export_eval_state(),
-                protocol=pickle.HIGHEST_PROTOCOL,
+            local_results = evaluate_shard(
+                engine, library, local_shard, metric, epsilon
             )
+            shard_results = [local_results] + [
+                future.result() for future in futures
+            ]
+            return merge_selections(len(sites), shard_results)
+        if remote_shards:
+            # full baseline on the first batch of a session, a
+            # cumulative delta against it afterwards — see
+            # repro.parallel.snapshot for the contract
+            payload = self.snapshot.encode(engine)
             futures = [
-                executor.submit(
+                (shard, executor.submit(
                     _evaluate_in_worker, payload, shard, metric, epsilon
-                )
+                ))
                 for shard in remote_shards
             ]
         else:
@@ -225,9 +241,24 @@ class EvalPool:
         local_results = evaluate_shard(
             engine, library, local_shard, metric, epsilon
         )
-        shard_results = [local_results] + [
-            future.result() for future in futures
-        ]
+        shard_results = [local_results]
+        stale_seen = False
+        for shard, future in futures:
+            status, results = future.result()
+            if status == "stale":
+                # this worker process missed the baseline shipment:
+                # score its shard against the live engine instead —
+                # identical selections, the policy is shared
+                self.snapshot.stats.stale_shards += 1
+                stale_seen = True
+                results = evaluate_shard(
+                    engine, library, shard, metric, epsilon
+                )
+            shard_results.append(results)
+        if stale_seen:
+            # resynchronize: ship a fresh full baseline next batch so
+            # the late joiner stops falling back to the parent forever
+            self.snapshot.invalidate()
         return merge_selections(len(sites), shard_results)
 
 

@@ -1,0 +1,427 @@
+"""Cross-batch snapshot diffing for sharded gain evaluation.
+
+The parent used to re-ship the full :class:`~repro.timing.sta.EvalState`
+(~120 KB pickled on c499) to the worker processes for *every*
+evaluation batch, although a committed 64-move batch dirties only a
+small slice of the analysis between exports.  This module ships the
+difference instead:
+
+* the first batch of a session sends a **baseline** — the complete
+  pickled state tagged with a session token and baseline id; worker
+  processes cache it module-globally (one slot per pool session);
+* subsequent batches send a **delta**: everything that differs from
+  the *baseline* (gate signatures, IO lists, placement locations,
+  arrival/required/level entries, rebuilt star models, the scalar
+  target).  Deltas are cumulative — always diffed against the
+  baseline, never against the previous delta — so any worker holding
+  the baseline can reconstruct the current state no matter which
+  intermediate batches its process happened to execute.
+
+A worker that never saw the baseline (process scheduling is not
+uniform) reports ``stale`` and the parent evaluates that shard inline
+against its live engine — same selections, slightly more parent work,
+never a wrong answer.  When a delta approaches the size of a full
+snapshot (late in an optimization run, when most nets have drifted)
+the codec re-baselines automatically.
+
+Slacks are never shipped in deltas: the worker refolds them from the
+delta's required pairs, arrivals and target with the exact expression
+:meth:`TimingEngine._fold_slacks` uses, so the reconstructed engine is
+bit-identical to one built from a full snapshot.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import weakref
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..network.netlist import Gate, Network
+from ..place.placement import Placement
+from ..timing.sta import EvalState
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from ..timing.sta import TimingEngine
+
+#: Ship a full snapshot instead when the delta pickle exceeds this
+#: fraction of the last full payload — past that point diffing only
+#: adds bookkeeping.
+REBASE_FRACTION = 0.6
+
+_SESSION_COUNTER = 0
+
+
+@dataclass
+class EvalDelta:
+    """Everything that changed relative to a baseline ``EvalState``."""
+
+    gates_upsert: list[tuple[str, object, tuple[str, ...], str | None]]
+    gates_removed: list[str]
+    inputs: list[str] | None
+    outputs: list[str] | None
+    locations_upsert: list[tuple[str, tuple[float, float]]]
+    locations_removed: list[str]
+    arrival_upsert: dict
+    arrival_removed: list[str]
+    req0_upsert: dict
+    req0_removed: list[str]
+    levels_upsert: dict
+    levels_removed: list[str]
+    stars_upsert: dict
+    stars_removed: list[str]
+    max_delay: float
+    version: int
+
+    def change_count(self) -> int:
+        return (
+            len(self.gates_upsert) + len(self.gates_removed)
+            + len(self.locations_upsert) + len(self.locations_removed)
+            + len(self.arrival_upsert) + len(self.arrival_removed)
+            + len(self.req0_upsert) + len(self.req0_removed)
+            + len(self.levels_upsert) + len(self.levels_removed)
+            + len(self.stars_upsert) + len(self.stars_removed)
+        )
+
+
+@dataclass
+class SnapshotStats:
+    """Payload accounting for benchmarks and tests."""
+
+    full_batches: int = 0
+    delta_batches: int = 0
+    full_bytes: int = 0
+    delta_bytes: int = 0
+    stale_shards: int = 0
+    changes_shipped: int = 0
+
+    def mean_full_bytes(self) -> float:
+        return self.full_bytes / self.full_batches if self.full_batches else 0.0
+
+    def mean_delta_bytes(self) -> float:
+        return (
+            self.delta_bytes / self.delta_batches
+            if self.delta_batches else 0.0
+        )
+
+
+@dataclass
+class _BaselineRefs:
+    """Parent-side shallow capture of a shipped baseline.
+
+    Dict values are immutable (tuples, floats, ints) and star models
+    are replaced — never mutated — when rebuilt, so value/identity
+    comparison against these shallow copies detects every change.
+    """
+
+    gates: dict[str, tuple]
+    inputs: list[str]
+    outputs: list[str]
+    locations: dict[str, tuple[float, float]]
+    arrival: dict
+    req0: dict
+    levels: dict
+    stars: dict
+
+
+class EvalSnapshotCodec:
+    """Parent-side encoder: full baselines + cumulative deltas."""
+
+    def __init__(self) -> None:
+        global _SESSION_COUNTER
+        _SESSION_COUNTER += 1
+        self.token = f"{os.getpid()}.{_SESSION_COUNTER}"
+        self.stats = SnapshotStats()
+        self._baseline_id = 0
+        self._refs: _BaselineRefs | None = None
+        self._engine_ref: "weakref.ref[TimingEngine] | None" = None
+        self._last_full_bytes = 0
+
+    def encode(self, engine: "TimingEngine") -> bytes:
+        """Payload for this batch: a delta when possible, else a full."""
+        state = engine.export_eval_state()
+        previous = (
+            self._engine_ref() if self._engine_ref is not None else None
+        )
+        if self._refs is None or previous is not engine:
+            return self._encode_full(engine, state)
+        delta = self._diff(state)
+        payload = pickle.dumps(
+            ("delta", self.token, self._baseline_id, delta),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        if len(payload) > REBASE_FRACTION * self._last_full_bytes:
+            return self._encode_full(engine, state)
+        self.stats.delta_batches += 1
+        self.stats.delta_bytes += len(payload)
+        self.stats.changes_shipped += delta.change_count()
+        return payload
+
+    def invalidate(self) -> None:
+        """Force the next :meth:`encode` to ship a full baseline.
+
+        Called when a worker reports a stale shard (it never cached
+        the current baseline): re-shipping the full snapshot gives
+        every process a chance to resynchronize instead of leaving the
+        late joiner permanently on the parent-inline fallback.  Worst
+        case (a worker that idles through every full batch) this
+        degrades to the pre-diffing ship-full-every-batch behavior —
+        never worse than the baseline protocol.
+        """
+        self._refs = None
+
+    def _encode_full(
+        self, engine: "TimingEngine", state: EvalState
+    ) -> bytes:
+        self._baseline_id += 1
+        self._refs = _capture(state)
+        self._engine_ref = weakref.ref(engine)
+        payload = pickle.dumps(
+            ("full", self.token, self._baseline_id, state),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        self._last_full_bytes = len(payload)
+        self.stats.full_batches += 1
+        self.stats.full_bytes += len(payload)
+        return payload
+
+    def _diff(self, state: EvalState) -> EvalDelta:
+        refs = self._refs
+        assert refs is not None
+        network = state.network
+        gates_upsert = []
+        current_gates = set()
+        for gate in network.gates():
+            signature = (gate.gtype, tuple(gate.fanins), gate.cell)
+            current_gates.add(gate.name)
+            if refs.gates.get(gate.name) != signature:
+                gates_upsert.append((gate.name, *signature))
+        gates_removed = [
+            name for name in refs.gates if name not in current_gates
+        ]
+        inputs = (
+            list(network.inputs) if network.inputs != refs.inputs else None
+        )
+        outputs = (
+            list(network.outputs) if network.outputs != refs.outputs else None
+        )
+        locations = state.placement.locations
+        locations_upsert = [
+            (name, location) for name, location in locations.items()
+            if refs.locations.get(name) != location
+        ]
+        locations_removed = [
+            name for name in refs.locations if name not in locations
+        ]
+        arrival_upsert, arrival_removed = _dict_diff(
+            state.arrival, refs.arrival
+        )
+        req0_upsert, req0_removed = _dict_diff(state.req0, refs.req0)
+        levels_upsert, levels_removed = _dict_diff(
+            state.levels, refs.levels
+        )
+        stars_upsert = {
+            net: star for net, star in state.stars.items()
+            if refs.stars.get(net) is not star
+        }
+        stars_removed = [
+            net for net in refs.stars if net not in state.stars
+        ]
+        return EvalDelta(
+            gates_upsert=gates_upsert,
+            gates_removed=gates_removed,
+            inputs=inputs,
+            outputs=outputs,
+            locations_upsert=locations_upsert,
+            locations_removed=locations_removed,
+            arrival_upsert=arrival_upsert,
+            arrival_removed=arrival_removed,
+            req0_upsert=req0_upsert,
+            req0_removed=req0_removed,
+            levels_upsert=levels_upsert,
+            levels_removed=levels_removed,
+            stars_upsert=stars_upsert,
+            stars_removed=stars_removed,
+            max_delay=state.max_delay,
+            version=state.version,
+        )
+
+
+def _capture(state: EvalState) -> _BaselineRefs:
+    return _BaselineRefs(
+        gates={
+            gate.name: (gate.gtype, tuple(gate.fanins), gate.cell)
+            for gate in state.network.gates()
+        },
+        inputs=list(state.network.inputs),
+        outputs=list(state.network.outputs),
+        locations=dict(state.placement.locations),
+        arrival=dict(state.arrival),
+        req0=dict(state.req0),
+        levels=dict(state.levels),
+        stars=dict(state.stars),
+    )
+
+
+def _dict_diff(current: dict, reference: dict) -> tuple[dict, list]:
+    upsert = {
+        key: value for key, value in current.items()
+        if reference.get(key, _MISSING) != value
+    }
+    removed = [key for key in reference if key not in current]
+    return upsert, removed
+
+
+class _Missing:
+    def __eq__(self, other) -> bool:  # pragma: no cover - never equal
+        return False
+
+    def __ne__(self, other) -> bool:
+        return True
+
+
+_MISSING = _Missing()
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+
+#: Baseline cache of this worker process: session token -> (id, state).
+#: One slot per session keeps memory bounded at one snapshot per pool.
+_BASELINES: dict[str, tuple[int, EvalState]] = {}
+
+
+def decode(payload: bytes) -> EvalState | None:
+    """Rebuild the batch's :class:`EvalState`, or ``None`` when stale.
+
+    ``None`` means this process lacks the referenced baseline (it
+    joined the pool after the full snapshot shipped, or the pool
+    rebased while a task was queued) — the caller must fall back.
+    """
+    kind, token, baseline_id, body = pickle.loads(payload)
+    if kind == "full":
+        _BASELINES[token] = (baseline_id, body)
+        # hand out a clone, never the cached object: an engine built
+        # from the return value may legally commit moves through it
+        # (from_eval_state advertises that), and a mutated baseline
+        # would silently corrupt every later delta reconstruction
+        return _clone_state(body)
+    cached = _BASELINES.get(token)
+    if cached is None or cached[0] != baseline_id:
+        return None
+    return apply_delta(cached[1], body)
+
+
+def apply_delta(baseline: EvalState, delta: EvalDelta) -> EvalState:
+    """A fresh ``EvalState`` = pristine *baseline* + cumulative *delta*.
+
+    The baseline is never mutated (its network is copied, its dicts
+    merged into new ones), so any number of later deltas can be
+    applied against it in any order of arrival.
+    """
+    network = baseline.network.copy()
+    for name, gtype, fanins, cell in delta.gates_upsert:
+        gate = network._gates.get(name)
+        if gate is None:
+            network._gates[name] = Gate(
+                name=name, gtype=gtype, fanins=list(fanins), cell=cell
+            )
+        else:
+            gate.gtype = gtype
+            gate.fanins = list(fanins)
+            gate.cell = cell
+    for name in delta.gates_removed:
+        network._gates.pop(name, None)
+    if delta.inputs is not None:
+        network.inputs = list(delta.inputs)
+        network._input_set = set(delta.inputs)
+    if delta.outputs is not None:
+        network.outputs = list(delta.outputs)
+    network.version = delta.version
+    base_placement = baseline.placement
+    locations = dict(base_placement.locations)
+    locations.update(delta.locations_upsert)
+    for name in delta.locations_removed:
+        locations.pop(name, None)
+    placement = Placement(
+        die_width=base_placement.die_width,
+        die_height=base_placement.die_height,
+        locations=locations,
+        input_pads=base_placement.input_pads,
+        output_pads=base_placement.output_pads,
+    )
+    arrival = _merged(
+        baseline.arrival, delta.arrival_upsert, delta.arrival_removed
+    )
+    req0 = _merged(baseline.req0, delta.req0_upsert, delta.req0_removed)
+    levels = _merged(
+        baseline.levels, delta.levels_upsert, delta.levels_removed
+    )
+    stars = _merged(
+        baseline.stars, delta.stars_upsert, delta.stars_removed
+    )
+    target = (
+        baseline.period if baseline.period is not None else delta.max_delay
+    )
+    # refold slacks exactly as TimingEngine._fold_slacks does, so the
+    # reconstructed engine is bit-identical to a full-snapshot rebuild
+    slack = {}
+    for net, (req_rise, req_fall) in req0.items():
+        rise, fall = arrival.get(net, (0.0, 0.0))
+        slack[net] = min(req_rise - rise, req_fall - fall) + target
+    return EvalState(
+        network=network,
+        placement=placement,
+        library=baseline.library,
+        period=baseline.period,
+        po_pad_cap=baseline.po_pad_cap,
+        arrival=arrival,
+        slack=slack,
+        stars=stars,
+        levels=levels,
+        req0=req0,
+        max_delay=delta.max_delay,
+        version=delta.version,
+    )
+
+
+def _clone_state(state: EvalState) -> EvalState:
+    """Working copy of a baseline: shared immutables, fresh containers."""
+    network = state.network.copy()
+    network.version = state.version
+    placement = Placement(
+        die_width=state.placement.die_width,
+        die_height=state.placement.die_height,
+        locations=dict(state.placement.locations),
+        input_pads=state.placement.input_pads,
+        output_pads=state.placement.output_pads,
+    )
+    return EvalState(
+        network=network,
+        placement=placement,
+        library=state.library,
+        period=state.period,
+        po_pad_cap=state.po_pad_cap,
+        arrival=dict(state.arrival),
+        slack=dict(state.slack),
+        stars=dict(state.stars),
+        levels=dict(state.levels),
+        req0=dict(state.req0),
+        max_delay=state.max_delay,
+        version=state.version,
+    )
+
+
+def _merged(base: dict, upsert: dict, removed: list) -> dict:
+    merged = dict(base)
+    merged.update(upsert)
+    for key in removed:
+        merged.pop(key, None)
+    return merged
+
+
+def clear_worker_cache() -> None:
+    """Drop every cached baseline (tests and long-lived processes)."""
+    _BASELINES.clear()

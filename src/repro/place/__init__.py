@@ -2,12 +2,14 @@
 
 from .congestion import CongestionStats, congestion_map, congestion_stats
 from .fm import FmResult, bipartition
+from .hpwl import WirelengthEngine
 from .placement import (
     Placement,
     die_for,
     manhattan,
     net_hpwl,
     net_terminals,
+    output_pad_points,
     perturbation,
     total_hpwl,
 )
@@ -17,6 +19,7 @@ __all__ = [
     "CongestionStats",
     "FmResult",
     "Placement",
+    "WirelengthEngine",
     "bipartition",
     "congestion_map",
     "congestion_stats",
@@ -24,6 +27,7 @@ __all__ = [
     "manhattan",
     "net_hpwl",
     "net_terminals",
+    "output_pad_points",
     "perturbation",
     "place",
     "total_hpwl",

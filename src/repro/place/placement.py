@@ -87,6 +87,22 @@ def manhattan(
     return abs(a[0] - b[0]) + abs(a[1] - b[1])
 
 
+def output_pad_points(
+    network: Network, placement: Placement
+) -> dict[str, list[tuple[float, float]]]:
+    """Output-pad coordinates grouped by driven net.
+
+    One pass over the output list, so whole-netlist consumers (the
+    wirelength engine's flattening) avoid the per-net scan that
+    :meth:`Placement.sink_locations` performs; a net listed as a
+    primary output more than once contributes one pad per listing.
+    """
+    pads: dict[str, list[tuple[float, float]]] = {}
+    for index, output in enumerate(network.outputs):
+        pads.setdefault(output, []).append(placement.output_pads[index])
+    return pads
+
+
 def net_terminals(
     network: Network, placement: Placement, net: str
 ) -> list[tuple[float, float]]:

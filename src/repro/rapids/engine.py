@@ -322,6 +322,8 @@ class RapidsResult:
     redundancies: int
     perturbation: dict[str, float] = field(default_factory=dict)
     equivalent: bool | None = None
+    #: Section-5 wirelength polish outcome (None unless wl_passes > 0).
+    wirelength: "WirelengthResult | None" = None
 
     @property
     def improvement_percent(self) -> float:
@@ -404,6 +406,8 @@ def run_rapids(
     incremental: bool = True,
     sim_backend: str = "auto",
     workers: int = 1,
+    wl_passes: int = 0,
+    wl_batched: bool = True,
 ) -> RapidsResult:
     """Optimize a placed mapped network in place; returns the report.
 
@@ -414,6 +418,10 @@ def run_rapids(
     resolves per sweep shape, see ``repro.logic.simcore.backends``).
     *workers* > 1 shards candidate-gain evaluation across processes
     with a serial-identical trajectory (see :mod:`repro.parallel`).
+    *wl_passes* > 0 appends that many Section-5 wirelength-rewiring
+    passes after timing optimization (placement still untouched);
+    *wl_batched* selects the vectorized conflict-free path over the
+    serial greedy reference (see :mod:`repro.rapids.wirelength`).
     """
     if mode not in MODES:
         raise ValueError(f"unknown mode {mode!r}; pick one of {MODES}")
@@ -443,6 +451,20 @@ def run_rapids(
         incremental=incremental,
         workers=workers,
     )
+    wirelength = None
+    if wl_passes > 0:
+        from .wirelength import reduce_wirelength
+
+        wirelength = reduce_wirelength(
+            network, placement, max_passes=wl_passes, batched=wl_batched
+        )
+        if wirelength.swaps_applied or wirelength.cross_swaps_applied:
+            # the polish rewired nets after the optimizer's last STA:
+            # re-time so the reported delay describes the returned
+            # netlist (area is untouched — these moves add no cells)
+            final_engine = TimingEngine(network, placement, library)
+            final_engine.analyze()
+            opt.final_delay = final_engine.max_delay
     result = RapidsResult(
         mode=mode,
         optimize=opt,
@@ -450,6 +472,7 @@ def run_rapids(
         max_supergate_inputs=max_inputs,
         redundancies=redundancies,
         perturbation=perturbation(placement_before, placement),
+        wirelength=wirelength,
     )
     if reference is not None:
         result.equivalent = networks_equivalent(

@@ -1,4 +1,12 @@
-"""Rewiring moves: supergate pin swaps packaged for the optimizer."""
+"""Rewiring moves: supergate pin swaps packaged for the optimizer.
+
+Pricing contract: :meth:`SwapMove.gains` is *projection-only* — it
+rides :meth:`~repro.timing.sta.TimingEngine.swap_gain`, which rebuilds
+the two affected stars with sinks exchanged off the cached analysis
+and never mutates the network, so candidate evaluation fires zero
+mutation events (the wirelength path honors the same contract through
+:mod:`repro.place.hpwl`); ``apply`` is the only mutating entry.
+"""
 
 from __future__ import annotations
 

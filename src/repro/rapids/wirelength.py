@@ -2,20 +2,52 @@
 
 "If two signals a and b come from geometrically fixed locations and all
 gates have been placed, swapping of a and b can clearly reduce the wire
-length" — this module does exactly that: greedy non-inverting leaf
-swaps (and optionally cross-supergate fanin-group swaps) accepted
-whenever they shorten the estimated wiring, with the placement frozen.
+length" — this module does exactly that: symmetric non-inverting leaf
+swaps (and inverter-free cross-supergate fanin-group exchanges)
+accepted whenever they shorten the estimated wiring, with the
+placement frozen.
 
-Useful on its own for congestion relief, and as the simplest
-demonstration that symmetry-based rewiring needs no timing machinery.
+Two execution paths share one candidate-pricing contract (candidates
+are **never** priced by mutating the network — pricing fires zero
+events into subscribed engines):
+
+* **batched** (the default): every pass enumerates the full candidate
+  set once — leaf swaps of every non-trivial supergate plus pure
+  cross swaps — scores it as one vectorized batch against a
+  :class:`~repro.place.hpwl.WirelengthEngine`, and commits a maximal
+  conflict-free subset (no two accepted moves sharing a net, so the
+  priced deltas are exactly additive).  Scoring-and-committing repeats
+  within the pass until no candidate improves: non-inverting leaf
+  swaps preserve the supergate partition, so the pin-pair set stays
+  valid and only the driving nets need re-reading.  Supergates are
+  refreshed *incrementally* between passes through the PR-1
+  :class:`~repro.rapids.engine.SupergateCache`.
+* **greedy** (the reference): the historical interpreted trajectory —
+  supergates re-extracted per pass, candidates priced and applied one
+  at a time in enumeration order.  Deltas are bit-identical to the
+  old trial-apply-and-revert implementation (pure extrema selection),
+  minus the two mutation events it fired per candidate.
+
+The batched path must end at a total HPWL no worse than greedy's on
+the quick set (``benchmarks/bench_wirelength.py`` asserts it) and is
+function-preserving by construction (every accepted move is a legal
+symmetry application; the property tests sweep random networks ×
+random placements through ``networks_equivalent``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..network.netlist import Network
-from ..place.placement import Placement, net_hpwl, total_hpwl
+from ..network.netlist import Network, Pin
+from ..place.hpwl import WirelengthEngine
+from ..place.placement import Placement, net_terminals, total_hpwl
+from ..symmetry.cross import (
+    CrossSwap,
+    apply_cross_swap,
+    cross_swap_bindings,
+    find_cross_swaps,
+)
 from ..symmetry.supergate import extract_supergates
 from ..symmetry.swap import apply_swap, enumerate_swaps
 
@@ -28,6 +60,9 @@ class WirelengthResult:
     final_hpwl: float
     swaps_applied: int
     passes: int
+    mode: str = "greedy"
+    cross_swaps_applied: int = 0
+    candidates_scored: int = 0
 
     @property
     def improvement_percent(self) -> float:
@@ -38,22 +73,48 @@ class WirelengthResult:
         ) / self.initial_hpwl
 
 
+def _hpwl_of(terminals: list[tuple[float, float]]) -> float:
+    if len(terminals) < 2:
+        return 0.0
+    xs = [t[0] for t in terminals]
+    ys = [t[1] for t in terminals]
+    return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+
+def _exchanged(
+    terminals: list[tuple[float, float]],
+    removed: tuple[float, float],
+    added: tuple[float, float],
+) -> list[tuple[float, float]]:
+    edited = list(terminals)
+    edited.remove(removed)
+    edited.append(added)
+    return edited
+
+
 def swap_hpwl_delta(
     network: Network, placement: Placement, swap
 ) -> float:
-    """Wirelength change (negative = shorter) of a candidate swap."""
+    """Wirelength change (negative = shorter) of a candidate swap.
+
+    Footprint-only: the affected nets' terminal multisets are edited
+    arithmetically, so pricing never mutates the network — no version
+    bump, no mutation events into subscribed engines.  The returned
+    value is bit-identical to the historical trial-apply-and-revert
+    computation (extrema of the same multisets).
+    """
     net_a = network.fanin_net(swap.pin_a)
     net_b = network.fanin_net(swap.pin_b)
     if net_a == net_b:
         return 0.0
-    before = net_hpwl(network, placement, net_a) + net_hpwl(
-        network, placement, net_b
+    loc_a = placement.locations[swap.pin_a.gate]
+    loc_b = placement.locations[swap.pin_b.gate]
+    terms_a = net_terminals(network, placement, net_a)
+    terms_b = net_terminals(network, placement, net_b)
+    before = _hpwl_of(terms_a) + _hpwl_of(terms_b)
+    after = _hpwl_of(_exchanged(terms_a, loc_a, loc_b)) + _hpwl_of(
+        _exchanged(terms_b, loc_b, loc_a)
     )
-    network.swap_fanins(swap.pin_a, swap.pin_b)
-    after = net_hpwl(network, placement, net_a) + net_hpwl(
-        network, placement, net_b
-    )
-    network.swap_fanins(swap.pin_a, swap.pin_b)
     return after - before
 
 
@@ -62,26 +123,51 @@ def reduce_wirelength(
     placement: Placement,
     max_passes: int = 4,
     min_gain: float = 1e-9,
+    batched: bool = True,
+    include_cross: bool = True,
+    engine: WirelengthEngine | None = None,
 ) -> WirelengthResult:
-    """Greedy non-inverting swap passes until no net shortens.
+    """Shorten estimated wiring by symmetry-based rewiring.
 
-    Only non-inverting swaps are used (an inverting swap adds cells,
-    which is never justified by wirelength alone).  Supergates are
-    re-extracted between passes since leaf swaps preserve the
-    partition but keep the bookkeeping honest after any change.
+    Only non-inverting swaps and inverter-free cross exchanges are
+    used (a move that adds cells is never justified by wirelength
+    alone), so the placement is untouched and the gate count constant.
+    *batched* selects the vectorized conflict-free path (see module
+    docstring); ``batched=False`` runs the serial greedy reference.
+    *engine* lets callers reuse a prebuilt
+    :class:`~repro.place.hpwl.WirelengthEngine` across runs.
     """
+    if batched:
+        return _reduce_batched(
+            network, placement, max_passes, min_gain, include_cross, engine
+        )
+    return _reduce_greedy(network, placement, max_passes, min_gain)
+
+
+# ----------------------------------------------------------------------
+# greedy reference path (the historical trajectory)
+# ----------------------------------------------------------------------
+def _reduce_greedy(
+    network: Network,
+    placement: Placement,
+    max_passes: int,
+    min_gain: float,
+) -> WirelengthResult:
     initial = total_hpwl(network, placement)
     applied = 0
     passes = 0
+    scored = 0
     for _ in range(max_passes):
         passes += 1
         improved = 0
         sgn = extract_supergates(network)
         for sg in sgn.nontrivial():
             for swap in enumerate_swaps(
-                sg, leaves_only=True, include_inverting=False
+                sg, leaves_only=True, include_inverting=False,
+                network=network,
             ):
                 delta = swap_hpwl_delta(network, placement, swap)
+                scored += 1
                 if delta < -min_gain:
                     apply_swap(network, swap)
                     improved += 1
@@ -93,4 +179,149 @@ def reduce_wirelength(
         final_hpwl=total_hpwl(network, placement),
         swaps_applied=applied,
         passes=passes,
+        mode="greedy",
+        candidates_scored=scored,
     )
+
+
+# ----------------------------------------------------------------------
+# batched engine path
+# ----------------------------------------------------------------------
+def _reduce_batched(
+    network: Network,
+    placement: Placement,
+    max_passes: int,
+    min_gain: float,
+    include_cross: bool,
+    engine: WirelengthEngine | None,
+) -> WirelengthResult:
+    from .engine import SupergateCache
+
+    placement.ensure_covered(network)
+    if engine is None:
+        engine = WirelengthEngine(network, placement)
+    cache = SupergateCache(network)
+    initial = engine.total_hpwl()
+    leaf_applied = 0
+    cross_applied = 0
+    passes = 0
+    scored_before = engine.candidates_scored
+    for _ in range(max_passes):
+        passes += 1
+        sgn = cache.get()
+        pairs = _leaf_pairs(sgn, network)
+        crosses = (
+            _pure_crosses(sgn) if include_cross else []
+        )
+        pass_applied = 0
+        first_iteration = True
+        while True:
+            leaves, crossings = _commit_batch(
+                network, engine, sgn, pairs,
+                crosses if first_iteration else [], min_gain,
+            )
+            first_iteration = False
+            leaf_applied += leaves
+            cross_applied += crossings
+            pass_applied += leaves + crossings
+            if leaves + crossings == 0:
+                break
+        if pass_applied == 0:
+            break
+    return WirelengthResult(
+        initial_hpwl=initial,
+        final_hpwl=engine.total_hpwl(),
+        swaps_applied=leaf_applied,
+        passes=passes,
+        mode="batched",
+        cross_swaps_applied=cross_applied,
+        candidates_scored=engine.candidates_scored - scored_before,
+    )
+
+
+def _leaf_pairs(sgn, network: Network) -> list[tuple[str, Pin, Pin]]:
+    """Deduplicated, deterministically ordered leaf-swap candidates.
+
+    Supergate iteration follows the partition's insertion order and
+    pin pairing follows leaf-extraction order — no set/dict-hash
+    iteration anywhere, so the candidate list (and therefore the
+    batched trajectory) is ``PYTHONHASHSEED``-independent.  Same-net
+    pairs are dropped at the source rather than priced-then-discarded.
+    """
+    pairs: list[tuple[str, Pin, Pin]] = []
+    seen: set[tuple[Pin, Pin]] = set()
+    for sg in sgn.nontrivial():
+        for swap in enumerate_swaps(
+            sg, leaves_only=True, include_inverting=False, network=network
+        ):
+            key = (swap.pin_a, swap.pin_b)
+            if key in seen:
+                continue
+            seen.add(key)
+            pairs.append((sg.root, swap.pin_a, swap.pin_b))
+    return pairs
+
+
+def _pure_crosses(sgn) -> list[tuple[CrossSwap, list[tuple[Pin, str]]]]:
+    """Cross swaps that move wires only (no inverter is ever added)."""
+    pure: list[tuple[CrossSwap, list[tuple[Pin, str]]]] = []
+    for cross in find_cross_swaps(sgn):
+        bindings = cross_swap_bindings(sgn, cross)
+        if bindings is not None:
+            pure.append((cross, bindings))
+    return pure
+
+
+def _commit_batch(
+    network: Network,
+    engine: WirelengthEngine,
+    sgn,
+    pairs: list[tuple[str, Pin, Pin]],
+    crosses: list[tuple[CrossSwap, list[tuple[Pin, str]]]],
+    min_gain: float,
+) -> tuple[int, int]:
+    """Score every candidate, commit a maximal conflict-free subset.
+
+    Accepted moves may not share a net: each net's bounding box is
+    then edited by at most one move, the priced deltas add exactly,
+    and total HPWL drops by their sum.  Ties are broken by a
+    deterministic canonical key (kind, supergate roots, pins).
+    """
+    deltas = engine.score_swaps(
+        [(pin_a, pin_b) for _, pin_a, pin_b in pairs]
+    )
+    candidates: list[tuple[float, int, tuple, set[str], object]] = []
+    for (root, pin_a, pin_b), delta in zip(pairs, deltas):
+        if delta < -min_gain:
+            footprint = engine.footprint_nets([pin_a, pin_b])
+            candidates.append(
+                (delta, 0, (root, pin_a, pin_b), footprint,
+                 (pin_a, pin_b))
+            )
+    for cross, bindings in crosses:
+        delta = engine.rebind_delta(bindings)
+        if delta < -min_gain:
+            footprint = engine.footprint_nets(
+                [pin for pin, _ in bindings]
+            ) | {net for _, net in bindings}
+            candidates.append(
+                (delta, 1,
+                 (cross.parent_root, cross.sg1_root, cross.sg2_root),
+                 footprint, (cross, bindings))
+            )
+    candidates.sort(key=lambda item: (item[0], item[1], item[2]))
+    touched: set[str] = set()
+    leaves = crossings = 0
+    for _delta, kind, _key, footprint, payload in candidates:
+        if footprint & touched:
+            continue
+        if kind == 0:
+            pin_a, pin_b = payload
+            network.swap_fanins(pin_a, pin_b)
+            leaves += 1
+        else:
+            cross, _bindings = payload
+            apply_cross_swap(network, sgn, cross)
+            crossings += 1
+        touched |= footprint
+    return leaves, crossings

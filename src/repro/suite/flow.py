@@ -40,6 +40,10 @@ class FlowConfig:
                                       # ("auto" = adaptive per sweep shape)
     workers: int = 1                  # gain-evaluation worker processes
                                       # (trajectory is worker-count-invariant)
+    wl_passes: int = 0                # post-optimization wirelength-rewiring
+                                      # passes (0 = skip the Section-5 polish)
+    wl_batched: bool = True           # vectorized conflict-free wirelength
+                                      # path (False = serial greedy reference)
     anneal_moves: int | None = None  # None = auto (40 moves per gate)
     presize: bool = True              # timing-driven sizing before placement
 
@@ -150,6 +154,8 @@ def run_benchmark(
             check_equivalence=config.check_equivalence,
             sim_backend=config.sim_backend,
             workers=config.workers,
+            wl_passes=config.wl_passes,
+            wl_batched=config.wl_batched,
         )
     if all(mode in outcome.results for mode in MODES):
         outcome.row = build_row(

@@ -27,6 +27,7 @@ from .swap import (
 from .cross import (
     CrossSwap,
     apply_cross_swap,
+    cross_swap_bindings,
     demorgan_box,
     find_cross_swaps,
 )
@@ -58,6 +59,7 @@ __all__ = [
     "apply_swap",
     "claimed_swaps_hold",
     "count_swappable_pairs",
+    "cross_swap_bindings",
     "cut_pin_function",
     "demorgan_box",
     "enumerate_swaps",

@@ -121,6 +121,33 @@ def find_cross_swaps(sgn: SupergateNetwork) -> list[CrossSwap]:
     return swaps
 
 
+def cross_swap_bindings(
+    sgn: SupergateNetwork, cross: CrossSwap
+) -> list[tuple[Pin, str]] | None:
+    """The exact pin rebinds an *inverter-free* cross swap would apply.
+
+    Returns ``None`` when the exchange needs any polarity or output
+    inverter (mismatched leaf pairs, or
+    :attr:`CrossSwap.needs_output_inverters`) — those add cells, which
+    wirelength-only rewiring never wants.  For the pure case the
+    returned ``(pin, new_net)`` list is precisely what
+    :func:`apply_cross_swap` will execute, so callers can price the
+    move footprint-only (no mutation, no events) and trust the apply
+    to match.
+    """
+    if cross.needs_output_inverters:
+        return None
+    sg1 = sgn.supergates[cross.sg1_root]
+    sg2 = sgn.supergates[cross.sg2_root]
+    bindings: list[tuple[Pin, str]] = []
+    for leaf1, leaf2 in _pair_leaves(sg1, sg2):
+        if leaf1.imp_value != leaf2.imp_value:
+            return None
+        bindings.append((leaf1.pin, leaf2.net))
+        bindings.append((leaf2.pin, leaf1.net))
+    return bindings
+
+
 def apply_cross_swap(
     network: Network, sgn: SupergateNetwork, cross: CrossSwap
 ) -> None:

@@ -102,6 +102,7 @@ def enumerate_swaps(
     sg: Supergate,
     leaves_only: bool = True,
     include_inverting: bool = True,
+    network: Network | None = None,
 ) -> Iterator[PinSwap]:
     """Yield all legal pin swaps within a supergate.
 
@@ -111,6 +112,15 @@ def enumerate_swaps(
     Setting it ``False`` additionally yields internal-pin swaps, which
     restructure the fanout-free tree (the paper's logic-level-reduction
     move).
+
+    With *network* given, pairs whose pins are currently driven by the
+    same net are skipped: exchanging them is a no-op that callers would
+    otherwise price and discard at delta 0.0.  The check reads the live
+    fanins at yield time, so interleaved applies are respected.
+
+    Ordering is deterministic and ``PYTHONHASHSEED``-independent: pins
+    come from the supergate's leaf/pin lists (extraction order), never
+    from set or dict-hash iteration — batched appliers rely on this.
     """
     if sg.sg_class in (SgClass.CONST, SgClass.WIRE):
         return
@@ -121,6 +131,10 @@ def enumerate_swaps(
     for index_a in range(len(pins)):
         for index_b in range(index_a + 1, len(pins)):
             pin_a, pin_b = pins[index_a], pins[index_b]
+            if network is not None and (
+                network.fanin_net(pin_a) == network.fanin_net(pin_b)
+            ):
+                continue
             kinds = swap_kinds(sg, pin_a, pin_b)
             for kind in sorted(kinds):
                 if kind == "inverting" and not include_inverting:

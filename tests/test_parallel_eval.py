@@ -153,6 +153,128 @@ def test_pickled_network_arrives_unobserved():
 
 
 # ----------------------------------------------------------------------
+# cross-batch snapshot diffing: deltas rebuild bit-identical engines
+# ----------------------------------------------------------------------
+def test_snapshot_delta_rebuilds_bit_identical_engine():
+    """Full baseline, then committed moves, then a delta: the decoded
+    state must match a fresh full export entry for entry — including
+    the slacks the worker refolds locally instead of receiving."""
+    from repro.parallel import snapshot as snap
+
+    network, placement, library = _placed_design(29, num_gates=45)
+    engine = TimingEngine(network, placement, library)
+    engine.analyze()
+    codec = snap.EvalSnapshotCodec()
+    snap.clear_worker_cache()
+    first = snap.decode(codec.encode(engine))
+    assert first is not None
+    assert codec.stats.full_batches == 1
+    # commit a few real moves between "batches"
+    sites = resize_sites(network, library)
+    for site in sites[:5]:
+        site.moves[0].apply(network, library)
+    engine.refresh()
+    payload = codec.encode(engine)
+    assert codec.stats.delta_batches == 1
+    assert len(payload) < codec.stats.full_bytes
+    rebuilt = snap.decode(payload)
+    assert rebuilt is not None
+    reference = engine.export_eval_state()
+    assert rebuilt.arrival == reference.arrival
+    assert rebuilt.slack == reference.slack
+    assert rebuilt.req0 == reference.req0
+    assert rebuilt.levels == reference.levels
+    assert rebuilt.max_delay == reference.max_delay
+    assert rebuilt.version == reference.version
+    assert {
+        name: (g.gtype, tuple(g.fanins), g.cell)
+        for name, g in rebuilt.network._gates.items()
+    } == {
+        name: (g.gtype, tuple(g.fanins), g.cell)
+        for name, g in reference.network._gates.items()
+    }
+    # and the engine built from the delta selects identical moves
+    replica = TimingEngine.from_eval_state(rebuilt)
+    for metric in ("min", "sum"):
+        for site in resize_sites(network, library):
+            assert best_phase_move(
+                site, engine, library, metric, 1e-9
+            ) == best_phase_move(site, replica, library, metric, 1e-9)
+
+
+def test_snapshot_delta_is_cumulative_against_the_baseline():
+    """A worker that skipped intermediate batches must still decode the
+    latest delta correctly (deltas diff against the baseline, not the
+    previous batch)."""
+    from repro.parallel import snapshot as snap
+
+    network, placement, library = _placed_design(31, num_gates=40)
+    engine = TimingEngine(network, placement, library)
+    engine.analyze()
+    codec = snap.EvalSnapshotCodec()
+    snap.clear_worker_cache()
+    assert snap.decode(codec.encode(engine)) is not None
+    sites = resize_sites(network, library)
+    sites[0].moves[0].apply(network, library)
+    engine.refresh()
+    codec.encode(engine)  # delta 1: never delivered to this "worker"
+    sites[1].moves[0].apply(network, library)
+    engine.refresh()
+    rebuilt = snap.decode(codec.encode(engine))  # delta 2, direct
+    assert rebuilt is not None
+    reference = engine.export_eval_state()
+    assert rebuilt.slack == reference.slack
+    assert rebuilt.arrival == reference.arrival
+
+
+def test_snapshot_stale_without_baseline():
+    """Deltas referencing an uncached baseline must report stale, and a
+    rebase must invalidate stale workers' old baselines."""
+    from repro.parallel import snapshot as snap
+
+    network, placement, library = _placed_design(37, num_gates=30)
+    engine = TimingEngine(network, placement, library)
+    engine.analyze()
+    codec = snap.EvalSnapshotCodec()
+    snap.clear_worker_cache()
+    codec.encode(engine)  # baseline shipped, but this worker missed it
+    sites = resize_sites(network, library)
+    sites[0].moves[0].apply(network, library)
+    engine.refresh()
+    payload = codec.encode(engine)
+    assert pickle.loads(payload)[0] == "delta"
+    assert snap.decode(payload) is None  # baseline never cached here
+
+
+def test_optimize_with_pool_ships_deltas_and_matches_serial():
+    """The integrated path: a pooled optimize run must walk the serial
+    trajectory while shipping mostly deltas after the first batch."""
+    if not _FORK_AVAILABLE:
+        pytest.skip("no fork start method")
+    from repro.rapids.engine import _gsg_gs_factory
+    from repro.sizing.coudert import optimize
+
+    network_s, placement_s, library = _placed_design(19, num_gates=60)
+    network_p, placement_p = network_s.copy(), placement_s.copy()
+    serial = optimize(
+        network_s, placement_s, library, _gsg_gs_factory(library),
+        collect_log=True,
+    )
+    with EvalPool(2, min_sites=1) as pool:
+        pooled = optimize(
+            network_p, placement_p, library, _gsg_gs_factory(library),
+            collect_log=True, eval_pool=pool,
+        )
+        stats = pool.snapshot.stats
+        assert pool.fallback_reason is None
+        assert stats.full_batches >= 1
+        if stats.delta_batches:
+            assert stats.mean_delta_bytes() < stats.mean_full_bytes()
+    assert pooled.move_log == serial.move_log
+    assert pooled.final_delay == serial.final_delay
+
+
+# ----------------------------------------------------------------------
 # merge determinism: shard boundaries and completion order are invisible
 # ----------------------------------------------------------------------
 def test_shard_sites_is_a_balanced_contiguous_partition():

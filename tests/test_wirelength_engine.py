@@ -1,0 +1,230 @@
+"""Vectorized incremental wirelength engine + batched rewiring.
+
+Locks the PR-4 contracts:
+
+* cached per-net boxes == fresh ``total_hpwl`` to 1e-9 under random
+  applied-swap sequences (incremental correctness);
+* structural mutations invalidate the flattening (engine notices);
+* candidate pricing fires **zero** mutation events (listener spy);
+* batch deltas are bit-identical to scalar and to the interpreted
+  trial-apply-and-revert computation;
+* batched rewiring preserves function on random networks x random
+  placements and never lengthens the total;
+* candidate enumeration is deduplicated, same-net-free and
+  ``PYTHONHASHSEED``-independent (subprocess comparison).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import subprocess
+import sys
+
+import pytest
+
+from repro.network.gatetype import GateType
+from repro.place.hpwl import WirelengthEngine
+from repro.place.placement import net_hpwl, total_hpwl
+from repro.place.placer import place
+from repro.rapids.wirelength import reduce_wirelength, swap_hpwl_delta
+from repro.symmetry.supergate import extract_supergates
+from repro.symmetry.swap import enumerate_swaps
+from repro.synth.mapper import map_network
+from repro.verify.equiv import networks_equivalent
+
+from helpers import random_network
+
+
+def prepared(seed, library, gates=60):
+    net = random_network(seed, num_gates=gates, num_outputs=4)
+    map_network(net, library)
+    placement = place(net, library, seed=seed)
+    return net, placement
+
+
+def leaf_pairs(net):
+    sgn = extract_supergates(net)
+    pairs = []
+    for sg in sgn.nontrivial():
+        for swap in enumerate_swaps(
+            sg, leaves_only=True, include_inverting=False, network=net
+        ):
+            pairs.append((swap.pin_a, swap.pin_b))
+    return pairs
+
+
+class EventSpy:
+    """Counts every mutation event the network emits."""
+
+    def __init__(self, network):
+        self.events = []
+        network.subscribe(self)
+
+    def notify_network_event(self, kind, data):
+        self.events.append(kind)
+
+
+def test_incremental_matches_fresh_total(library):
+    for seed in (41, 42, 43):
+        net, placement = prepared(seed, library)
+        engine = WirelengthEngine(net, placement)
+        rng = random.Random(seed)
+        pairs = leaf_pairs(net)
+        if not pairs:
+            continue
+        for _ in range(30):
+            pin_a, pin_b = rng.choice(pairs)
+            if net.fanin_net(pin_a) != net.fanin_net(pin_b):
+                net.swap_fanins(pin_a, pin_b)
+            assert engine.total_hpwl() == pytest.approx(
+                total_hpwl(net, placement), abs=1e-9
+            )
+        # the whole sequence rode the event hook, never a rebuild
+        assert engine.rebuilds == 1
+
+
+def test_structural_mutation_invalidates(library):
+    net, placement = prepared(44, library)
+    engine = WirelengthEngine(net, placement)
+    before = engine.total_hpwl()
+    assert before == pytest.approx(total_hpwl(net, placement), abs=1e-9)
+    # splice an inverter in front of some sink: structural mutation
+    gate = next(g for g in net.gates() if g.fanins)
+    victim = gate.fanins[0]
+    inv = net.fresh_name(f"{victim}_spy")
+    net.add_gate(inv, GateType.INV, [victim])
+    net.replace_fanin(
+        next(iter(gate.pins())), inv
+    )
+    placement.ensure_covered(net)
+    assert engine.total_hpwl() == pytest.approx(
+        total_hpwl(net, placement), abs=1e-9
+    )
+    assert engine.rebuilds == 2
+
+
+def test_candidate_pricing_fires_zero_events(library):
+    net, placement = prepared(45, library)
+    engine = WirelengthEngine(net, placement)
+    engine.refresh()
+    pairs = leaf_pairs(net)
+    assert pairs, "seed produced no swap candidates"
+    spy = EventSpy(net)
+    engine.score_swaps(pairs)
+    for pin_a, pin_b in pairs[:10]:
+        engine.swap_delta(pin_a, pin_b)
+    sgn = extract_supergates(net)
+    for sg in sgn.nontrivial():
+        for swap in enumerate_swaps(
+            sg, leaves_only=True, include_inverting=False
+        ):
+            swap_hpwl_delta(net, placement, swap)
+    assert spy.events == [], f"pricing mutated the network: {spy.events}"
+
+
+def test_batch_deltas_bit_identical_to_interpreted(library):
+    for seed in (46, 47):
+        net, placement = prepared(seed, library)
+        engine = WirelengthEngine(net, placement)
+        pairs = leaf_pairs(net)
+        batch = engine.score_swaps(pairs)
+        for (pin_a, pin_b), batch_delta in zip(pairs, batch):
+            scalar = engine.swap_delta(pin_a, pin_b)
+            net_a = net.fanin_net(pin_a)
+            net_b = net.fanin_net(pin_b)
+            before = net_hpwl(net, placement, net_a) + net_hpwl(
+                net, placement, net_b
+            )
+            net.swap_fanins(pin_a, pin_b)
+            after = net_hpwl(net, placement, net_a) + net_hpwl(
+                net, placement, net_b
+            )
+            net.swap_fanins(pin_a, pin_b)
+            interpreted = after - before
+            assert batch_delta == interpreted, (seed, pin_a, pin_b)
+            assert scalar == interpreted, (seed, pin_a, pin_b)
+
+
+def test_batched_preserves_function_and_total(library):
+    improved_any = False
+    for seed in (48, 49, 50, 51):
+        net, placement = prepared(seed, library)
+        reference = net.copy()
+        before = total_hpwl(net, placement)
+        result = reduce_wirelength(net, placement, batched=True)
+        after = total_hpwl(net, placement)
+        assert result.mode == "batched"
+        assert after <= before + 1e-6
+        assert result.final_hpwl == pytest.approx(after, abs=1e-9)
+        assert networks_equivalent(reference, net), seed
+        if result.swaps_applied or result.cross_swaps_applied:
+            improved_any = True
+    assert improved_any, "no seed produced a single batched move"
+
+
+def test_batched_is_idempotent(library):
+    net, placement = prepared(52, library)
+    reduce_wirelength(net, placement, batched=True)
+    again = reduce_wirelength(net, placement, batched=True)
+    assert again.swaps_applied == 0
+    assert again.cross_swaps_applied == 0
+
+
+def test_enumeration_dedupes_same_net_pairs(library):
+    for seed in (53, 54):
+        net, _ = prepared(seed, library)
+        sgn = extract_supergates(net)
+        for sg in sgn.nontrivial():
+            swaps = list(enumerate_swaps(
+                sg, leaves_only=True, include_inverting=False, network=net
+            ))
+            keys = [(s.pin_a, s.pin_b) for s in swaps]
+            assert len(keys) == len(set(keys))
+            for swap in swaps:
+                assert net.fanin_net(swap.pin_a) != net.fanin_net(swap.pin_b)
+
+
+_TRAJECTORY_SCRIPT = """
+import hashlib, sys
+sys.path.insert(0, {tests_dir!r})
+from helpers import random_network
+from repro.library.cells import default_library
+from repro.place.placer import place
+from repro.rapids.wirelength import reduce_wirelength
+from repro.synth.mapper import map_network
+
+library = default_library()
+net = random_network(55, num_gates=70, num_outputs=4)
+map_network(net, library)
+placement = place(net, library, seed=55)
+result = reduce_wirelength(net, placement, batched=True)
+digest = hashlib.blake2b(digest_size=16)
+for name in sorted(net.gate_names()):
+    gate = net.gate(name)
+    digest.update(f"{{name}}:{{gate.gtype.value}}:{{','.join(gate.fanins)}}".encode())
+digest.update(f"{{result.final_hpwl:.9f}}:{{result.swaps_applied}}".encode())
+print(digest.hexdigest())
+"""
+
+
+def test_batched_trajectory_hash_seed_independent():
+    """The batched apply order must not depend on PYTHONHASHSEED."""
+    src = os.path.abspath(
+        os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    )
+    script = _TRAJECTORY_SCRIPT.format(
+        tests_dir=os.path.abspath(os.path.dirname(__file__))
+    )
+    fingerprints = {}
+    for seed in ("1", "9001"):
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = seed
+        env["PYTHONPATH"] = src
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, env=env, check=True,
+            timeout=300,
+        )
+        fingerprints[seed] = result.stdout.strip()
+    assert len(set(fingerprints.values())) == 1, fingerprints
