@@ -21,7 +21,14 @@ Checked properties:
 * **quality** — a full batched ``reduce_wirelength`` run ends at a
   final HPWL no worse than the greedy reference on *every* circuit,
   and both paths leave the network functionally equivalent to the
-  input (``networks_equivalent``).
+  input (``networks_equivalent``);
+* **timing safety** — the *timing-aware* batched polish (the Table-1
+  default) ends, on every circuit, at a re-timed critical delay no
+  worse than the wirelength-off baseline (epsilon 1e-9: the slack
+  guard at margin 0 by construction never eats delay) while the
+  aggregate HPWL win over the set retains at least **80%** of the
+  timing-blind batched win, with zero measurable projected-vs-applied
+  slack drift.
 
 ``REPRO_BENCH_SET=quick`` trims the circuit list for CI smoke runs.
 """
@@ -38,12 +45,16 @@ from repro.rapids.wirelength import reduce_wirelength
 from repro.suite.flow import FlowConfig, prepare_benchmark
 from repro.symmetry.supergate import extract_supergates
 from repro.symmetry.swap import enumerate_swaps
+from repro.timing.sta import TimingEngine
 
 from bench_helpers import QUICK_SET, quick_mode
 
 #: The acceptance criterion: engine-batched candidate scoring must be
 #: at least this much faster than the interpreted loop in aggregate.
 MIN_SCORING_SPEEDUP = 5.0
+#: Timing-aware acceptance criterion: the slack-guarded polish must
+#: keep at least this fraction of the timing-blind aggregate HPWL win.
+MIN_HPWL_RETENTION = 0.80
 #: Scoring repetitions per circuit (the batched path re-scores the
 #: candidate set once per commit iteration, so repetition is realistic).
 ROUNDS = 3
@@ -52,6 +63,8 @@ ROUNDS = 3
 _TIMES: dict[str, tuple[float, float, int]] = {}
 #: name -> (greedy final hpwl, batched final hpwl)
 _QUALITY: dict[str, tuple[float, float]] = {}
+#: name -> (blind hpwl win, timing-aware hpwl win)
+_RETENTION: dict[str, tuple[float, float]] = {}
 
 _HEADER = (
     f"{'ckt':<8}{'gates':>6}{'cands':>7}"
@@ -170,6 +183,86 @@ def test_batched_final_hpwl_no_worse_than_greedy(name, library):
     assert batched.final_hpwl <= greedy.final_hpwl + 1e-6, (
         f"{name}: batched ended at {batched.final_hpwl:.1f} um, worse "
         f"than greedy's {greedy.final_hpwl:.1f} um"
+    )
+
+
+@pytest.mark.parametrize("name", bench_names())
+def test_timing_aware_polish_never_degrades_delay(name, library):
+    """The Table-1 default: slack-guarded passes are delay-free.
+
+    Runs the timing-blind and the timing-aware batched polish from the
+    same prepared design and asserts the timing-aware result (a) ends
+    at a re-timed critical delay no worse than the wirelength-off
+    baseline (epsilon 1e-9), (b) realizes its slack projections
+    exactly (drift below 1e-9, so the re-pricing fallback never had to
+    fire), and (c) stays functionally equivalent to the input.  The
+    per-circuit HPWL wins feed the aggregate retention floor below.
+    """
+    from repro.verify.equiv import networks_equivalent
+
+    outcome = prepare_benchmark(name, FlowConfig(), library)
+    reference = outcome.network
+
+    baseline = TimingEngine(reference, outcome.placement, library)
+    baseline.analyze()
+    baseline_delay = baseline.max_delay
+
+    blind_net = reference.copy()
+    blind_pl = outcome.placement.copy()
+    blind = reduce_wirelength(blind_net, blind_pl, batched=True)
+    assert networks_equivalent(reference, blind_net), name
+
+    aware_net = reference.copy()
+    aware_pl = outcome.placement.copy()
+    guard = TimingEngine(aware_net, aware_pl, library)
+    guard.analyze()
+    aware = reduce_wirelength(
+        aware_net, aware_pl, batched=True, timing_engine=guard,
+    )
+    assert networks_equivalent(reference, aware_net), name
+    assert aware.timing_aware
+
+    retimed = TimingEngine(aware_net, aware_pl, library)
+    retimed.analyze()
+
+    blind_win = blind.initial_hpwl - blind.final_hpwl
+    aware_win = aware.initial_hpwl - aware.final_hpwl
+    _RETENTION[name] = (blind_win, aware_win)
+    print(
+        f"\n{name}: delay base {baseline_delay:.4f} -> "
+        f"aware {retimed.max_delay:.4f} ns | hpwl win "
+        f"blind {blind_win:.0f} aware {aware_win:.0f} um "
+        f"({aware.swaps_applied}+{aware.cross_swaps_applied}x applied, "
+        f"{aware.timing_rejected} slack-rejected, "
+        f"drift {aware.projection_drift:.2e})"
+    )
+    assert retimed.max_delay <= baseline_delay + 1e-9, (
+        f"{name}: timing-aware polish degraded the re-timed delay "
+        f"{baseline_delay:.6f} -> {retimed.max_delay:.6f} ns"
+    )
+    assert aware.projection_drift <= 1e-9, (
+        f"{name}: slack projections drifted by "
+        f"{aware.projection_drift:.3e} ns against the applied update"
+    )
+    assert aware.drift_repricings == 0, name
+
+
+def test_aggregate_hpwl_retention_floor():
+    """Timing safety must not cost the polish its point: >=80% retained."""
+    if not _RETENTION:
+        pytest.skip("per-circuit timing-aware benches were deselected")
+    blind_total = sum(b for b, _ in _RETENTION.values())
+    aware_total = sum(a for _, a in _RETENTION.values())
+    retention = aware_total / blind_total if blind_total else 1.0
+    print(
+        f"\naggregate over {sorted(_RETENTION)}: blind win "
+        f"{blind_total:.0f} um, timing-aware win {aware_total:.0f} um "
+        f"-> {100 * retention:.1f}% retained"
+    )
+    assert retention >= MIN_HPWL_RETENTION, (
+        f"timing-aware polish retains only {100 * retention:.1f}% of "
+        f"the timing-blind HPWL win "
+        f"(floor {100 * MIN_HPWL_RETENTION:.0f}%)"
     )
 
 

@@ -6,6 +6,12 @@ lets the rewiring engine exchange symmetric signals so wires get
 shorter — without moving a single placed cell.  Also demonstrates a
 cross-supergate fanin-group swap (Theorem 2) on a constructed example.
 
+This demo runs the polish on its own, timing-blind.  In the Table-1
+flow the polish now runs *by default* (``wl_passes=1``) in its
+timing-aware form: every swap is additionally gated on its projected
+slack neighborhood, so wirelength recovery never degrades the
+re-timed delay — see ``examples/timing_aware_wirelength.py``.
+
 Run:  python examples/wirelength_rewiring.py
 """
 

@@ -19,7 +19,9 @@ Invalidation contract: any ``Network`` mutation bumps the version and
 emits a typed event.  Stateless helpers (``get_compiled``,
 ``fault_simulate``) revalidate by version; a ``SimEngine`` listens to
 events, patches pure pin rewires into its compiled form in place and
-falls back to recompile + full sweep for structural changes.
+falls back to recompile + full sweep for structural changes.  The
+full event taxonomy and per-engine invalidation rules live in
+``docs/architecture.md``.
 """
 
 from .backends import (

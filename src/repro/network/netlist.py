@@ -20,7 +20,8 @@ forgotten engine never leaks).  A mutation performed outside these
 methods still bumps the version through :meth:`Network._touch`, which
 then emits the catch-all ``"unknown"`` event — listeners treat it as a
 full invalidation, so bypassing the typed mutators is safe, merely
-slower.
+slower.  The event taxonomy and each engine's invalidation rules are
+documented in ``docs/architecture.md``.
 """
 
 from __future__ import annotations

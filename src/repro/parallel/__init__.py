@@ -19,7 +19,8 @@ mutates nothing.  This package shards that loop:
 
 Invariant: ``optimize(..., workers=N)`` applies the bit-identical move
 sequence for every N (``tests/test_parallel_eval.py``); parallelism
-buys wall time only, never a different answer.
+buys wall time only, never a different answer.  The snapshot-delta
+protocol is specified in ``docs/architecture.md``.
 """
 
 from .evaluate import (

@@ -25,13 +25,14 @@ difference.  Batches of candidates are scored as single vectorized
 numpy expressions over gathered extrema rows (a pure-Python fallback
 keeps the engine importable without numpy).
 
-Freshness follows the PR-1 mutation-event contract: the engine
-subscribes to the network; pin rewires (``swap_fanins`` /
-``replace_fanin``) are folded in incrementally (the two affected nets'
-extrema are rebuilt from their terminal lists), structural mutations
-mark the whole flattening stale for lazy rebuild.  The placement is
-assumed frozen — the paper's premise — and :meth:`rebuild` is the
-escape hatch for callers that move cells anyway.
+Freshness follows the mutation-event contract (see
+``docs/architecture.md``): the engine subscribes to the network; pin
+rewires (``swap_fanins`` / ``replace_fanin``) are folded in
+incrementally (the two affected nets' extrema are rebuilt from their
+terminal lists), structural mutations mark the whole flattening stale
+for lazy rebuild.  The placement is assumed frozen — the paper's
+premise — and :meth:`rebuild` is the escape hatch for callers that
+move cells anyway.
 """
 
 from __future__ import annotations

@@ -408,6 +408,8 @@ def run_rapids(
     workers: int = 1,
     wl_passes: int = 0,
     wl_batched: bool = True,
+    wl_timing_aware: bool = True,
+    wl_slack_margin: float = 0.0,
 ) -> RapidsResult:
     """Optimize a placed mapped network in place; returns the report.
 
@@ -422,6 +424,12 @@ def run_rapids(
     passes after timing optimization (placement still untouched);
     *wl_batched* selects the vectorized conflict-free path over the
     serial greedy reference (see :mod:`repro.rapids.wirelength`).
+    With *wl_timing_aware* (the default) those passes gate every
+    accepted swap on a projected-slack guard band of *wl_slack_margin*
+    ns against the post-optimization critical delay, so the polish
+    recovers wirelength without giving back the delay the sizing
+    passes just bought; ``wl_timing_aware=False`` restores the
+    timing-blind HPWL-only objective.
     """
     if mode not in MODES:
         raise ValueError(f"unknown mode {mode!r}; pick one of {MODES}")
@@ -455,16 +463,31 @@ def run_rapids(
     if wl_passes > 0:
         from .wirelength import reduce_wirelength
 
+        wl_timing = None
+        if wl_timing_aware:
+            # the guard band is measured against the delay the
+            # optimizer just achieved: the gate's engine pins its
+            # target to this analysis' critical path
+            wl_timing = TimingEngine(network, placement, library)
+            wl_timing.analyze()
         wirelength = reduce_wirelength(
-            network, placement, max_passes=wl_passes, batched=wl_batched
+            network, placement, max_passes=wl_passes, batched=wl_batched,
+            timing_engine=wl_timing, slack_margin=wl_slack_margin,
         )
         if wirelength.swaps_applied or wirelength.cross_swaps_applied:
             # the polish rewired nets after the optimizer's last STA:
             # re-time so the reported delay describes the returned
-            # netlist (area is untouched — these moves add no cells)
-            final_engine = TimingEngine(network, placement, library)
-            final_engine.analyze()
-            opt.final_delay = final_engine.max_delay
+            # netlist (area is untouched — these moves add no cells).
+            # The guard engine already tracked every commit
+            # incrementally (incremental == fresh to 1e-9), so only
+            # the timing-blind path needs a from-scratch analysis.
+            if wl_timing is not None:
+                wl_timing.refresh()
+                opt.final_delay = wl_timing.max_delay
+            else:
+                final_engine = TimingEngine(network, placement, library)
+                final_engine.analyze()
+                opt.final_delay = final_engine.max_delay
     result = RapidsResult(
         mode=mode,
         optimize=opt,

@@ -9,7 +9,7 @@ placement frozen.
 
 Two execution paths share one candidate-pricing contract (candidates
 are **never** priced by mutating the network — pricing fires zero
-events into subscribed engines):
+events into subscribed engines; see ``docs/architecture.md``):
 
 * **batched** (the default): every pass enumerates the full candidate
   set once — leaf swaps of every non-trivial supergate plus pure
@@ -28,8 +28,29 @@ events into subscribed engines):
   old trial-apply-and-revert implementation (pure extrema selection),
   minus the two mutation events it fired per candidate.
 
+With a *timing_engine* the polish becomes **timing-aware**: a swap is
+committed only when its HPWL delta improves **and** its projected
+slack neighborhood stays inside a guard band (*slack_margin*, default
+0.0 — never eat into the critical path; negative margins trade bounded
+delay for wire).  Candidates are pre-filtered by the engine's
+vectorized frontier projection
+(:meth:`~repro.timing.sta.TimingEngine.project_swap_slacks`), then
+verified by the exact full-cone projection, whose ``touched`` sets
+gate conflict-freedom: accepted moves may share neither a bounding-box
+net (HPWL deltas add exactly) nor a timing-neighborhood net (slack
+projections add exactly).  After every committed batch the timing
+engine re-folds incrementally (``apply_and_update``); the realized
+slacks are compared against the projections, and drift beyond
+:data:`~repro.timing.sta.PROJECTION_DRIFT_TOL` falls back to
+re-pricing the remaining candidates from the refreshed state (the
+fixed-point loop re-scores every iteration, so nothing stale is ever
+reused).  The engine's timing target is pinned to the pre-polish
+critical delay when no period is set, so "no worse than the guard
+band" means "no worse than the netlist we started polishing".
+
 The batched path must end at a total HPWL no worse than greedy's on
-the quick set (``benchmarks/bench_wirelength.py`` asserts it) and is
+the quick set (``benchmarks/bench_wirelength.py`` asserts it, along
+with zero delay degradation for the timing-aware default) and is
 function-preserving by construction (every accepted move is a legal
 symmetry application; the property tests sweep random networks ×
 random placements through ``networks_equivalent``).
@@ -50,6 +71,7 @@ from ..symmetry.cross import (
 )
 from ..symmetry.supergate import extract_supergates
 from ..symmetry.swap import apply_swap, enumerate_swaps
+from ..timing.sta import PROJECTION_DRIFT_TOL, TimingEngine
 
 
 @dataclass
@@ -63,6 +85,17 @@ class WirelengthResult:
     mode: str = "greedy"
     cross_swaps_applied: int = 0
     candidates_scored: int = 0
+    #: True when a timing engine gated every commit on projected slack.
+    timing_aware: bool = False
+    #: Guard band the slack gate enforced (ns; only with timing_aware).
+    slack_margin: float = 0.0
+    #: Wirelength-improving candidates rejected by the slack gate.
+    timing_rejected: int = 0
+    #: Worst |projected - realized| slack disagreement seen post-commit.
+    projection_drift: float = 0.0
+    #: Batches whose drift exceeded the tolerance and fell back to
+    #: re-pricing from the refreshed engine.
+    drift_repricings: int = 0
 
     @property
     def improvement_percent(self) -> float:
@@ -118,6 +151,81 @@ def swap_hpwl_delta(
     return after - before
 
 
+def swap_bindings(
+    network: Network, pin_a: Pin, pin_b: Pin
+) -> tuple[tuple[Pin, str], tuple[Pin, str]]:
+    """Rebinding view of a non-inverting pin swap (for slack projection)."""
+    return (
+        (pin_a, network.fanin_net(pin_b)),
+        (pin_b, network.fanin_net(pin_a)),
+    )
+
+
+class _TimingGate:
+    """Slack guard for wirelength commits, wrapping one timing engine.
+
+    Pins the engine's timing target to the pre-polish critical delay
+    when no period is set, so every projected slack is measured
+    against the netlist the polish started from.  Collects the
+    rejection / drift statistics reported on the result.
+    """
+
+    def __init__(self, engine: TimingEngine, margin: float) -> None:
+        engine.refresh()
+        if engine.period is None:
+            engine.period = engine.max_delay
+        self.engine = engine
+        self.margin = margin
+        #: unique rejected candidates — the fixed-point loop re-scores
+        #: (and re-rejects) the same candidate every iteration, so a
+        #: plain counter would inflate with the iteration count
+        self.rejected_keys: set[tuple] = set()
+        self.max_drift = 0.0
+        self.repricings = 0
+
+    @property
+    def rejected(self) -> int:
+        return len(self.rejected_keys)
+
+    def prefilter(self, bindings_batch: list) -> list[bool]:
+        """Vectorized frontier projection over the whole candidate set."""
+        projections = self.engine.project_swap_slacks(bindings_batch)
+        return [p.admissible(self.margin) for p in projections]
+
+    def reject(self, bindings) -> None:
+        self.rejected_keys.add(tuple(bindings))
+
+    def verify(self, bindings):
+        """Exact full-cone projection, or ``None`` when inadmissible."""
+        projection = self.engine.project_swap_slacks(
+            [bindings], exact=True
+        )[0]
+        if not projection.admissible(self.margin):
+            self.reject(bindings)
+            return None
+        return projection
+
+    def refold(self, committed: list) -> None:
+        """Post-commit ``apply_and_update`` + projected-vs-realized check.
+
+        With pairwise-disjoint ``touched`` sets the projections must
+        realize exactly (to float noise); measurable drift means an
+        assumption broke, so the batch falls back to re-pricing —
+        structurally, the next commit iteration re-scores everything
+        from the engine state this refresh just made truthful.
+        """
+        self.engine.refresh()
+        drift = 0.0
+        for projection in committed:
+            for net, value in projection.projected.items():
+                realized = self.engine.slack.get(net)
+                if realized is not None:
+                    drift = max(drift, abs(realized - value))
+        self.max_drift = max(self.max_drift, drift)
+        if drift > PROJECTION_DRIFT_TOL:
+            self.repricings += 1
+
+
 def reduce_wirelength(
     network: Network,
     placement: Placement,
@@ -126,6 +234,8 @@ def reduce_wirelength(
     batched: bool = True,
     include_cross: bool = True,
     engine: WirelengthEngine | None = None,
+    timing_engine: TimingEngine | None = None,
+    slack_margin: float = 0.0,
 ) -> WirelengthResult:
     """Shorten estimated wiring by symmetry-based rewiring.
 
@@ -136,12 +246,25 @@ def reduce_wirelength(
     docstring); ``batched=False`` runs the serial greedy reference.
     *engine* lets callers reuse a prebuilt
     :class:`~repro.place.hpwl.WirelengthEngine` across runs.
+
+    With *timing_engine* every commit is additionally gated on its
+    projected slack neighborhood staying above *slack_margin* (ns)
+    relative to the engine's timing target — pinned to the pre-polish
+    critical delay when the engine has no explicit period — so the
+    default margin of 0.0 guarantees the polish never degrades the
+    re-timed delay.  Negative margins permit bounded degradation,
+    positive margins keep a safety band.
     """
+    gate = (
+        _TimingGate(timing_engine, slack_margin)
+        if timing_engine is not None else None
+    )
     if batched:
         return _reduce_batched(
-            network, placement, max_passes, min_gain, include_cross, engine
+            network, placement, max_passes, min_gain, include_cross,
+            engine, gate,
         )
-    return _reduce_greedy(network, placement, max_passes, min_gain)
+    return _reduce_greedy(network, placement, max_passes, min_gain, gate)
 
 
 # ----------------------------------------------------------------------
@@ -152,6 +275,7 @@ def _reduce_greedy(
     placement: Placement,
     max_passes: int,
     min_gain: float,
+    gate: _TimingGate | None,
 ) -> WirelengthResult:
     initial = total_hpwl(network, placement)
     applied = 0
@@ -169,12 +293,16 @@ def _reduce_greedy(
                 delta = swap_hpwl_delta(network, placement, swap)
                 scored += 1
                 if delta < -min_gain:
+                    if gate is not None and gate.verify(
+                        swap_bindings(network, swap.pin_a, swap.pin_b)
+                    ) is None:
+                        continue
                     apply_swap(network, swap)
                     improved += 1
         applied += improved
         if not improved:
             break
-    return WirelengthResult(
+    result = WirelengthResult(
         initial_hpwl=initial,
         final_hpwl=total_hpwl(network, placement),
         swaps_applied=applied,
@@ -182,6 +310,8 @@ def _reduce_greedy(
         mode="greedy",
         candidates_scored=scored,
     )
+    _attach_timing_stats(result, gate)
+    return result
 
 
 # ----------------------------------------------------------------------
@@ -194,6 +324,7 @@ def _reduce_batched(
     min_gain: float,
     include_cross: bool,
     engine: WirelengthEngine | None,
+    gate: _TimingGate | None,
 ) -> WirelengthResult:
     from .engine import SupergateCache
 
@@ -218,7 +349,7 @@ def _reduce_batched(
         while True:
             leaves, crossings = _commit_batch(
                 network, engine, sgn, pairs,
-                crosses if first_iteration else [], min_gain,
+                crosses if first_iteration else [], min_gain, gate,
             )
             first_iteration = False
             leaf_applied += leaves
@@ -228,7 +359,7 @@ def _reduce_batched(
                 break
         if pass_applied == 0:
             break
-    return WirelengthResult(
+    result = WirelengthResult(
         initial_hpwl=initial,
         final_hpwl=engine.total_hpwl(),
         swaps_applied=leaf_applied,
@@ -237,6 +368,20 @@ def _reduce_batched(
         cross_swaps_applied=cross_applied,
         candidates_scored=engine.candidates_scored - scored_before,
     )
+    _attach_timing_stats(result, gate)
+    return result
+
+
+def _attach_timing_stats(
+    result: WirelengthResult, gate: _TimingGate | None
+) -> None:
+    if gate is None:
+        return
+    result.timing_aware = True
+    result.slack_margin = gate.margin
+    result.timing_rejected = gate.rejected
+    result.projection_drift = gate.max_drift
+    result.drift_repricings = gate.repricings
 
 
 def _leaf_pairs(sgn, network: Network) -> list[tuple[str, Pin, Pin]]:
@@ -279,6 +424,7 @@ def _commit_batch(
     pairs: list[tuple[str, Pin, Pin]],
     crosses: list[tuple[CrossSwap, list[tuple[Pin, str]]]],
     min_gain: float,
+    gate: _TimingGate | None,
 ) -> tuple[int, int]:
     """Score every candidate, commit a maximal conflict-free subset.
 
@@ -286,17 +432,27 @@ def _commit_batch(
     then edited by at most one move, the priced deltas add exactly,
     and total HPWL drops by their sum.  Ties are broken by a
     deterministic canonical key (kind, supergate roots, pins).
+
+    With a timing *gate*, selection is two-phase and mutation-free
+    until the end: candidates are filtered by the batched frontier
+    slack projection, the survivors verified (in priced order) by the
+    exact full-cone projection, and conflict-freedom additionally
+    requires pairwise-disjoint timing neighborhoods (``touched``) so
+    the projected slacks of the accepted subset realize exactly.  All
+    accepted moves are then committed and the engine re-folds once,
+    with the drift fallback documented on :class:`_TimingGate`.
     """
     deltas = engine.score_swaps(
         [(pin_a, pin_b) for _, pin_a, pin_b in pairs]
     )
-    candidates: list[tuple[float, int, tuple, set[str], object]] = []
+    candidates: list[tuple[float, int, tuple, set[str], object, tuple]] = []
     for (root, pin_a, pin_b), delta in zip(pairs, deltas):
         if delta < -min_gain:
             footprint = engine.footprint_nets([pin_a, pin_b])
             candidates.append(
                 (delta, 0, (root, pin_a, pin_b), footprint,
-                 (pin_a, pin_b))
+                 (pin_a, pin_b),
+                 swap_bindings(network, pin_a, pin_b))
             )
     for cross, bindings in crosses:
         delta = engine.rebind_delta(bindings)
@@ -307,14 +463,37 @@ def _commit_batch(
             candidates.append(
                 (delta, 1,
                  (cross.parent_root, cross.sg1_root, cross.sg2_root),
-                 footprint, (cross, bindings))
+                 footprint, (cross, bindings), tuple(bindings))
             )
     candidates.sort(key=lambda item: (item[0], item[1], item[2]))
+    admissible = (
+        gate.prefilter([item[5] for item in candidates])
+        if gate is not None and candidates else []
+    )
     touched: set[str] = set()
-    leaves = crossings = 0
-    for _delta, kind, _key, footprint, payload in candidates:
+    timing_touched: set[str] = set()
+    accepted: list[tuple[int, object, object]] = []
+    for index, (_delta, kind, _key, footprint, payload, bindings) in (
+        enumerate(candidates)
+    ):
         if footprint & touched:
             continue
+        if gate is not None:
+            if not admissible[index]:
+                gate.reject(bindings)
+                continue
+            projection = gate.verify(bindings)
+            if projection is None:
+                continue
+            if projection.touched & timing_touched:
+                continue
+            timing_touched |= projection.touched
+            accepted.append((kind, payload, projection))
+        else:
+            accepted.append((kind, payload, None))
+        touched |= footprint
+    leaves = crossings = 0
+    for kind, payload, _projection in accepted:
         if kind == 0:
             pin_a, pin_b = payload
             network.swap_fanins(pin_a, pin_b)
@@ -323,5 +502,6 @@ def _commit_batch(
             cross, _bindings = payload
             apply_cross_swap(network, sgn, cross)
             crossings += 1
-        touched |= footprint
+    if gate is not None and accepted:
+        gate.refold([p for _, _, p in accepted if p is not None])
     return leaves, crossings

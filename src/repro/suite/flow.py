@@ -40,10 +40,16 @@ class FlowConfig:
                                       # ("auto" = adaptive per sweep shape)
     workers: int = 1                  # gain-evaluation worker processes
                                       # (trajectory is worker-count-invariant)
-    wl_passes: int = 0                # post-optimization wirelength-rewiring
-                                      # passes (0 = skip the Section-5 polish)
+    wl_passes: int = 1                # post-optimization wirelength-rewiring
+                                      # passes (0 = skip the Section-5 polish;
+                                      # on by default: the timing-aware gate
+                                      # makes the polish delay-safe)
     wl_batched: bool = True           # vectorized conflict-free wirelength
                                       # path (False = serial greedy reference)
+    wl_timing_aware: bool = True      # gate wirelength swaps on projected
+                                      # slack (False = HPWL-only objective)
+    wl_slack_margin: float = 0.0      # guard band (ns) the slack gate
+                                      # enforces; 0.0 = never degrade delay
     anneal_moves: int | None = None  # None = auto (40 moves per gate)
     presize: bool = True              # timing-driven sizing before placement
 
@@ -156,6 +162,8 @@ def run_benchmark(
             workers=config.workers,
             wl_passes=config.wl_passes,
             wl_batched=config.wl_batched,
+            wl_timing_aware=config.wl_timing_aware,
+            wl_slack_margin=config.wl_slack_margin,
         )
     if all(mode in outcome.results for mode in MODES):
         outcome.row = build_row(

@@ -7,12 +7,20 @@ from .netmodel import (
     build_star,
     pin_capacitance,
 )
-from .sta import Gains, PathPoint, TimingEngine
+from .sta import (
+    PROJECTION_DRIFT_TOL,
+    Gains,
+    PathPoint,
+    SlackProjection,
+    TimingEngine,
+)
 
 __all__ = [
     "Gains",
     "PO_PAD_CAP",
+    "PROJECTION_DRIFT_TOL",
     "PathPoint",
+    "SlackProjection",
     "StarNet",
     "StarSink",
     "TimingEngine",

@@ -10,7 +10,11 @@ Besides the full forward/backward analysis, :class:`TimingEngine`
 offers *local what-if evaluation* for the optimizer: the projected
 slack effect of a pin swap or a gate resize computed from cached state
 in O(neighborhood), without mutating the network.  This mirrors
-Coudert's neighborhood formulation that the paper builds on.
+Coudert's neighborhood formulation that the paper builds on.  The
+same cached state also feeds :meth:`TimingEngine.project_swap_slacks`,
+the batch slack projection behind timing-aware wirelength rewiring
+(``docs/architecture.md`` documents the projection-only pricing
+contract and the commit-time additivity rule).
 
 The engine is also *incremental*: it subscribes to the network's
 mutation events and, on :meth:`TimingEngine.apply_and_update`,
@@ -36,12 +40,23 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Iterable, NamedTuple
 
+try:  # numpy accelerates batch slack projection; scalar path needs nothing
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only on minimal installs
+    _np = None
+
 from ..library.cells import Cell, Library
 from ..network.gatetype import CONST_TYPES, GateType, XOR_TYPES, is_inverted
 from ..network.netlist import Network, Pin
 from ..place.placement import Placement
 from ..symmetry.swap import PinSwap
-from .netmodel import PO_PAD_CAP, StarNet, build_star, pin_capacitance
+from .netmodel import (
+    PO_PAD_CAP,
+    StarNet,
+    StarSink,
+    build_star,
+    pin_capacitance,
+)
 
 _NEGATIVE_UNATE = frozenset(
     {GateType.INV, GateType.NAND, GateType.NOR}
@@ -128,6 +143,59 @@ class Gains(NamedTuple):
     min_gain: float
     sum_gain: float
     projected_min: float = 0.0
+
+
+#: Float-noise headroom for guard-band comparisons: a projected slack
+#: this close to the boundary is treated as on the safe side.
+PROJECTION_EPS = 1e-12
+#: Projected-vs-applied slack disagreement beyond this triggers the
+#: re-pricing fallback in timing-aware consumers (see
+#: :meth:`TimingEngine.project_swap_slacks`).
+PROJECTION_DRIFT_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class SlackProjection:
+    """Projected slack effect of one candidate pin rebinding.
+
+    Produced by :meth:`TimingEngine.project_swap_slacks` without
+    mutating the network.  ``projected``/``current`` map every net
+    whose slack the move changes to its post-move / cached value;
+    ``touched`` is the conflict footprint — every net the projection
+    read or would rewrite.  Two moves with disjoint ``touched`` sets
+    (exact mode) neither interact nor invalidate each other's
+    projection, so their projected slacks realize *exactly* when both
+    are committed in one batch.
+    """
+
+    bindings: tuple[tuple[Pin, str], ...]
+    current: dict[str, float]
+    projected: dict[str, float]
+    touched: frozenset[str]
+    exact: bool = False
+
+    @property
+    def projected_min(self) -> float:
+        """Post-move minimum slack over the neighborhood."""
+        return min(self.projected.values(), default=float("inf"))
+
+    def admissible(self, margin: float) -> bool:
+        """Guard-band test: may this move be committed at *margin*?
+
+        Every neighborhood net must either keep a projected slack of at
+        least *margin* (the guard band) or not get worse than it
+        already is — a move is never rejected for a pre-existing
+        violation it does not deepen.  Monotone in *margin*: a larger
+        guard band admits a subset of the moves a smaller one admits.
+        """
+        for net, projected in self.projected.items():
+            if projected >= margin - PROJECTION_EPS:
+                continue
+            current = self.current.get(net)
+            if current is not None and projected >= current - PROJECTION_EPS:
+                continue
+            return False
+        return True
 
 
 class TimingEngine:
@@ -894,6 +962,486 @@ class TimingEngine:
     def slack_sum(self, nets: list[str]) -> float:
         """Sum of slacks over the given nets (relaxation-phase metric)."""
         return sum(self.slack.get(net, 0.0) for net in nets)
+
+    # ------------------------------------------------------------------
+    # batch slack projection (timing-aware wirelength rewiring)
+    # ------------------------------------------------------------------
+    def project_swap_slacks(
+        self,
+        batch: list[tuple[tuple[Pin, str], ...]],
+        exact: bool = False,
+    ) -> list[SlackProjection]:
+        """Mutation-free slack projections for a batch of pin rebindings.
+
+        Each batch element is a rebinding: a sequence of ``(pin,
+        new_net)`` pairs — ``((pin_a, net_b), (pin_b, net_a))`` for a
+        non-inverting leaf swap, or the ``cross_swap_bindings`` list of
+        a cross-supergate exchange.  Like :meth:`swap_gain`, pricing
+        reuses the cached star/arrival state and never mutates the
+        network — zero events reach subscribed engines.
+
+        The default *frontier* mode scores the whole batch at once:
+        the affected nets' star RC models are re-derived in one
+        vectorized numpy pass (pure-Python fallback included) and
+        arrivals are re-folded over the two-net neighborhood only —
+        cheap, slightly approximate beyond the frontier, right for
+        pre-filtering thousands of candidates.
+
+        ``exact=True`` instead mirrors :meth:`apply_and_update`
+        per candidate: arrivals are re-propagated through the whole
+        affected fanout and required times through the affected fanin
+        frontier (worklists over overlay dicts, early termination on
+        convergence), so the projected slacks equal the post-commit
+        re-fold to float noise and ``touched`` names every net the
+        walk visited.  Committing a set of moves whose exact
+        ``touched`` sets are pairwise disjoint realizes every
+        projection exactly — the additivity the batched wirelength
+        committer relies on.  Exact agreement with the applied state
+        additionally requires a pinned target (``period`` set):
+        with a floating target the re-timed critical path re-folds
+        every slack.  Consumers detect residual drift (float noise,
+        overlapping neighborhoods) against
+        :data:`PROJECTION_DRIFT_TOL` and fall back to re-pricing.
+        """
+        self.refresh()
+        if exact:
+            return [self._project_rebind_exact(tuple(b)) for b in batch]
+        prepared = [self._rebind_specs(tuple(b)) for b in batch]
+        jobs: list[tuple[str, list]] = []
+        slots: list[dict[str, int]] = []
+        for _moved, specs in prepared:
+            slot = {}
+            for net, spec in specs.items():
+                slot[net] = len(jobs)
+                jobs.append((net, spec))
+            slots.append(slot)
+        stars = self._rebound_stars(jobs)
+        projections = []
+        for (moved, _specs), slot, bindings in zip(prepared, slots, batch):
+            new_stars = {net: stars[index] for net, index in slot.items()}
+            projections.append(
+                self._fold_rebind_frontier(tuple(bindings), moved, new_stars)
+            )
+        return projections
+
+    def _rebind_specs(
+        self, bindings: tuple[tuple[Pin, str], ...]
+    ) -> tuple[dict[Pin, str], dict[str, list]]:
+        """Post-move sink specs of every net a rebinding touches.
+
+        Returns ``(moved, specs)``: the effective pin -> new-net map
+        (no-op bindings dropped) and, per affected net, the
+        ``build_star`` override list — cached sinks minus departing
+        pins, arriving pins appended in binding order, so the spec
+        order (and the float sums derived from it) is deterministic.
+        """
+        network = self.network
+        moved: dict[Pin, str] = {}
+        affected: set[str] = set()
+        for pin, new_net in bindings:
+            old_net = network.fanin_net(pin)
+            if old_net == new_net:
+                continue
+            moved[pin] = new_net
+            affected.add(old_net)
+            affected.add(new_net)
+        specs: dict[str, list] = {}
+        for net in sorted(affected):
+            star = self._ensure_star(net)
+            spec = [
+                (sink.pin, sink.location, sink.pin_cap)
+                for sink in star.sinks
+                if sink.pin is None or sink.pin not in moved
+            ]
+            for pin, new_net in moved.items():
+                if new_net == net:
+                    spec.append(
+                        (
+                            pin,
+                            self.placement.locations[pin.gate],
+                            pin_capacitance(network, self.library, pin),
+                        )
+                    )
+            specs[net] = spec
+        return moved, specs
+
+    def _rebound_stars(self, jobs: list[tuple[str, list]]) -> list[StarNet]:
+        """Star RC models for edited sink lists, one vectorized pass.
+
+        Each job is ``(net, override_specs)``; the result matches
+        ``build_star(..., override_sinks=specs)`` (same formulas, same
+        per-net summation order) to float associativity.  The numpy
+        path flattens every job's sinks into one row table and derives
+        centers, loads and per-sink Elmore delays with whole-array
+        expressions; the scalar fallback loops over ``build_star``.
+        """
+        if _np is None or len(jobs) < 2:
+            return [
+                build_star(
+                    self.network, self.placement, self.library, net,
+                    po_pad_cap=self.po_pad_cap, override_sinks=spec,
+                )
+                for net, spec in jobs
+            ]
+        from ..library.cells import (
+            UNIT_WIRE_CAP_PER_UM as _CAP,
+            UNIT_WIRE_RES_PER_UM as _RES,
+        )
+        count = len(jobs)
+        placement = self.placement
+        network = self.network
+        src = _np.empty((count, 2))
+        n_sinks = _np.empty(count, dtype=_np.int64)
+        job_ids: list[int] = []
+        xs: list[float] = []
+        ys: list[float] = []
+        caps: list[float] = []
+        for index, (net, spec) in enumerate(jobs):
+            src[index] = placement.source_location(network, net)
+            n_sinks[index] = len(spec)
+            for _pin, (x, y), cap in spec:
+                job_ids.append(index)
+                xs.append(x)
+                ys.append(y)
+                caps.append(cap)
+        job = _np.asarray(job_ids, dtype=_np.int64)
+        x = _np.asarray(xs)
+        y = _np.asarray(ys)
+        cap = _np.asarray(caps)
+        n_points = 1 + n_sinks
+        cx = (src[:, 0] + _np.bincount(job, weights=x, minlength=count))
+        cy = (src[:, 1] + _np.bincount(job, weights=y, minlength=count))
+        cx /= n_points
+        cy /= n_points
+        empty = n_sinks == 0
+        cx[empty] = src[empty, 0]
+        cy[empty] = src[empty, 1]
+        source_len = _np.abs(src[:, 0] - cx) + _np.abs(src[:, 1] - cy)
+        r_source = _RES * source_len
+        c_source = _CAP * source_len
+        seg_len = _np.abs(x - cx[job]) + _np.abs(y - cy[job])
+        c_seg = _CAP * seg_len
+        downstream = _np.bincount(
+            job, weights=c_seg, minlength=count
+        ) + _np.bincount(job, weights=cap, minlength=count)
+        total_cap = c_source + downstream
+        total_cap[empty] = 0.0
+        delay = r_source[job] * (c_source + downstream)[job] + (
+            _RES * seg_len
+        ) * (c_seg + cap)
+        stars: list[StarNet] = []
+        row = 0
+        for index, (net, spec) in enumerate(jobs):
+            sinks = []
+            for pin, location, pin_cap in spec:
+                sinks.append(
+                    StarSink(
+                        pin=pin,
+                        location=location,
+                        pin_cap=pin_cap,
+                        wire_delay=float(delay[row]),
+                    )
+                )
+                row += 1
+            source = (float(src[index, 0]), float(src[index, 1]))
+            stars.append(
+                StarNet(
+                    net=net,
+                    source=source,
+                    center=source if not sinks else (
+                        float(cx[index]), float(cy[index])
+                    ),
+                    total_cap=float(total_cap[index]),
+                    sinks=tuple(sinks),
+                )
+            )
+        return stars
+
+    def _rebound_gate_arrival(
+        self,
+        name: str,
+        moved: dict[Pin, str],
+        new_stars: dict[str, StarNet],
+        context: dict[str, tuple[float, float]],
+    ) -> tuple[float, float]:
+        """Exact (rise, fall) arrival of a gate under a rebind overlay.
+
+        Mirrors :meth:`_gate_arrival` with three overrides: pins in
+        *moved* read their new driving net, nets in *new_stars* use
+        the edited RC model (wire delays and the gate's own load), and
+        nets in *context* use the projected upstream arrival pair.
+        """
+        network = self.network
+        gate = network.gate(name)
+        if gate.gtype in CONST_TYPES:
+            return (0.0, 0.0)
+        cell = self._cell_of(name)
+        own_star = new_stars.get(name)
+        if own_star is None:
+            own_star = self._ensure_star(name)
+        if cell is None:
+            d_rise = d_fall = 0.0
+        else:
+            d_rise = cell.delay(own_star.total_cap, "rise")
+            d_fall = cell.delay(own_star.total_cap, "fall")
+        worst_rise = 0.0
+        worst_fall = 0.0
+        for index, fanin in enumerate(gate.fanins):
+            pin = Pin(name, index)
+            fanin = moved.get(pin, fanin)
+            star = new_stars.get(fanin)
+            if star is None:
+                star = self._ensure_star(fanin)
+            wire = star.sink_delay(pin)
+            in_pair = context.get(fanin)
+            if in_pair is None:
+                in_pair = self.arrival.get(fanin, (0.0, 0.0))
+            out_rise, out_fall = _propagate(
+                gate.gtype, in_pair[0] + wire, in_pair[1] + wire
+            )
+            worst_rise = max(worst_rise, out_rise)
+            worst_fall = max(worst_fall, out_fall)
+        return (worst_rise + d_rise, worst_fall + d_fall)
+
+    def _fold_rebind_frontier(
+        self,
+        bindings: tuple[tuple[Pin, str], ...],
+        moved: dict[Pin, str],
+        new_stars: dict[str, StarNet],
+    ) -> SlackProjection:
+        """Frontier-only projection: drivers + sink gates of the moved nets."""
+        network = self.network
+        po_nets = set(network.outputs)
+        context: dict[str, tuple[float, float]] = {}
+        deltas: dict[str, float] = {}
+        for net in new_stars:
+            old_pair = self.arrival.get(net, (0.0, 0.0))
+            new_pair = old_pair
+            if not network.is_input(net):
+                cell = self._cell_of(net)
+                if cell is not None:
+                    old_load = self._ensure_star(net).total_cap
+                    new_load = new_stars[net].total_cap
+                    new_pair = (
+                        old_pair[0]
+                        + cell.delay(new_load, "rise")
+                        - cell.delay(old_load, "rise"),
+                        old_pair[1]
+                        + cell.delay(new_load, "fall")
+                        - cell.delay(old_load, "fall"),
+                    )
+            context[net] = new_pair
+            if net in po_nets:
+                # the pad sink has no consumer gate to mirror a
+                # violation at, so the driver net itself carries the
+                # projected pad arrival; non-PO driver slowdowns are
+                # measured at their sink gates below (a violated net
+                # always violates its critical consumer too)
+                deltas[net] = (
+                    max(new_pair) - max(old_pair)
+                    + self._po_delta(net, new_stars[net])
+                )
+        gates: set[str] = set()
+        for net in new_stars:
+            for sink in self._ensure_star(net).sinks:
+                if sink.pin is not None:
+                    gates.add(sink.pin.gate)
+            for sink in new_stars[net].sinks:
+                if sink.pin is not None:
+                    gates.add(sink.pin.gate)
+        for name in sorted(
+            gates, key=lambda gate: (self._levels.get(gate, 0), gate)
+        ):
+            pair = self._rebound_gate_arrival(name, moved, new_stars, context)
+            deltas[name] = max(pair) - max(self.arrival.get(name, (0.0, 0.0)))
+            context[name] = pair
+        current: dict[str, float] = {}
+        projected: dict[str, float] = {}
+        for net, delta in deltas.items():
+            slack = self.slack.get(net)
+            if slack is None:
+                continue
+            current[net] = slack
+            projected[net] = slack - delta
+        return SlackProjection(
+            bindings=bindings,
+            current=current,
+            projected=projected,
+            touched=frozenset(new_stars) | frozenset(gates),
+            exact=False,
+        )
+
+    def _project_rebind_exact(
+        self, bindings: tuple[tuple[Pin, str], ...]
+    ) -> SlackProjection:
+        """Full-cone projection mirroring :meth:`apply_and_update`.
+
+        Forward arrivals and backward required times are re-derived
+        into overlay dicts with the same worklists the committed
+        update would run (changes re-push their neighbors, so the
+        result is the unique fixed point regardless of visit order);
+        the cached engine state is never written.  ``touched`` is the
+        complete visited set — the conflict footprint under which
+        batched projections add exactly.
+        """
+        network = self.network
+        moved, specs = self._rebind_specs(bindings)
+        if not moved:
+            return SlackProjection(
+                bindings=bindings, current={}, projected={},
+                touched=frozenset(), exact=True,
+            )
+        new_stars = {
+            net: build_star(
+                network, self.placement, self.library, net,
+                po_pad_cap=self.po_pad_cap, override_sinks=spec,
+            )
+            for net, spec in specs.items()
+        }
+        levels = self._levels
+
+        def consumers(net: str) -> list[Pin]:
+            star = new_stars.get(net)
+            if star is not None:
+                return [s.pin for s in star.sinks if s.pin is not None]
+            return network.fanout(net)
+
+        def effective_fanins(name: str) -> list[str]:
+            gate = network.gate(name)
+            return [
+                moved.get(Pin(name, index), fanin)
+                for index, fanin in enumerate(gate.fanins)
+            ]
+
+        # forward: arrivals through the affected fanout, overlay-only
+        arr_over: dict[str, tuple[float, float]] = {}
+        visited_fwd: set[str] = set()
+        seeds: set[str] = set()
+        for net in new_stars:
+            if not network.is_input(net):
+                seeds.add(net)
+            for sink in self._ensure_star(net).sinks:
+                if sink.pin is not None:
+                    seeds.add(sink.pin.gate)
+            for pin in consumers(net):
+                seeds.add(pin.gate)
+        heap = [(levels.get(name, 0), name) for name in sorted(seeds)]
+        heapq.heapify(heap)
+        while heap:
+            _, name = heapq.heappop(heap)
+            if name not in network or network.is_input(name):
+                continue
+            visited_fwd.add(name)
+            pair = self._rebound_gate_arrival(name, moved, new_stars, arr_over)
+            old = arr_over.get(name, self.arrival.get(name))
+            if pair != old:
+                arr_over[name] = pair
+                for pin in consumers(name):
+                    heapq.heappush(
+                        heap, (levels.get(pin.gate, 0), pin.gate)
+                    )
+        # backward: required times through the affected fanin frontier
+        po_nets = set(network.outputs)
+        req_over: dict[str, tuple[float, float]] = {}
+        visited_bwd: set[str] = set()
+        bseeds: set[str] = set()
+        for net in new_stars:
+            bseeds.add(net)
+            if not network.is_input(net):
+                bseeds.update(effective_fanins(net))
+        for pin in moved:
+            bseeds.add(pin.gate)
+            if pin.gate in network and not network.is_input(pin.gate):
+                bseeds.update(effective_fanins(pin.gate))
+        bheap = [(-levels.get(net, 0), net) for net in sorted(bseeds)]
+        heapq.heapify(bheap)
+        while bheap:
+            _, net = heapq.heappop(bheap)
+            if net not in network:
+                continue
+            visited_bwd.add(net)
+            pair = self._rebound_req0(net, moved, new_stars, req_over, po_nets)
+            old = req_over.get(net, self._req0.get(net))
+            if pair != old:
+                req_over[net] = pair
+                if not network.is_input(net):
+                    for fanin in effective_fanins(net):
+                        heapq.heappush(
+                            bheap, (-levels.get(fanin, 0), fanin)
+                        )
+        # fold changed slacks against the engine's (pinned) target
+        target = self.period if self.period is not None else self.max_delay
+        current: dict[str, float] = {}
+        projected: dict[str, float] = {}
+        for net in set(arr_over) | set(req_over):
+            req = req_over.get(net, self._req0.get(net))
+            if req is None:
+                continue
+            arrival = arr_over.get(net, self.arrival.get(net, (0.0, 0.0)))
+            projected[net] = min(
+                req[0] - arrival[0], req[1] - arrival[1]
+            ) + target
+            slack = self.slack.get(net)
+            if slack is not None:
+                current[net] = slack
+        return SlackProjection(
+            bindings=bindings,
+            current=current,
+            projected=projected,
+            touched=frozenset(new_stars) | visited_fwd | visited_bwd,
+            exact=True,
+        )
+
+    def _rebound_req0(
+        self,
+        net: str,
+        moved: dict[Pin, str],
+        new_stars: dict[str, StarNet],
+        req_over: dict[str, tuple[float, float]],
+        po_nets: set[str],
+    ) -> tuple[float, float]:
+        """Zero-target required pair at *net* under a rebind overlay.
+
+        Mirrors :meth:`_recompute_req0`: consumer pins come from the
+        post-move sink lists, consumer loads and sink wire delays from
+        the overlay stars, consumer required pairs from the overlay.
+        """
+        network = self.network
+        INF = float("inf")
+        rise = fall = INF
+        star = new_stars.get(net)
+        if star is None:
+            star = self._ensure_star(net)
+        if net in po_nets:
+            po_delay = 0.0
+            for sink in star.sinks:
+                if sink.pin is None:
+                    po_delay = sink.wire_delay
+                    break
+            rise = fall = -po_delay
+        sink_pins = [s.pin for s in star.sinks if s.pin is not None]
+        for pin in sink_pins:
+            consumer = network.gate(pin.gate)
+            out_pair = req_over.get(pin.gate, self._req0.get(pin.gate))
+            if out_pair is None:
+                continue
+            cell = self._cell_of(pin.gate)
+            if cell is None:
+                d_rise = d_fall = 0.0
+            else:
+                own_star = new_stars.get(pin.gate)
+                if own_star is None:
+                    own_star = self.stars[pin.gate]
+                load = own_star.total_cap
+                d_rise = cell.delay(load, "rise")
+                d_fall = cell.delay(load, "fall")
+            pin_rise_budget, pin_fall_budget = _required_through(
+                consumer.gtype, out_pair[0] - d_rise, out_pair[1] - d_fall
+            )
+            wire = star.sink_delay(pin)
+            rise = min(rise, pin_rise_budget - wire)
+            fall = min(fall, pin_fall_budget - wire)
+        return (rise, fall)
 
 
 def _propagate(

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repository docs (CI: docs-check).
+
+Walks the given markdown files (default: README.md, docs/, ROADMAP.md,
+CHANGES.md, PAPER.md, PAPERS.md, SNIPPETS.md, ISSUE.md), extracts
+every inline link and verifies:
+
+* relative file links resolve to an existing file or directory
+  (relative to the linking file);
+* fragment links (``path#anchor`` or ``#anchor``) point at a heading
+  that exists in the target file, using GitHub's slug rules
+  (lowercase, punctuation stripped, spaces to dashes);
+* ``http(s)``/``mailto`` links are accepted without network access
+  (CI must stay hermetic).
+
+Exit status is the number of broken links, so the CI job fails loudly
+and lists every offender.  No third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+DEFAULT_TARGETS = [
+    "README.md",
+    "docs",
+    "ROADMAP.md",
+    "CHANGES.md",
+    "PAPER.md",
+    "PAPERS.md",
+    "SNIPPETS.md",
+    "ISSUE.md",
+]
+
+#: Inline markdown links: [text](target) — images share the syntax.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: Fenced code blocks are stripped before link extraction.
+FENCE_RE = re.compile(r"^(```|~~~)", re.MULTILINE)
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$", re.MULTILINE)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading."""
+    text = re.sub(r"[`*_~]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def strip_fences(text: str) -> str:
+    """Remove fenced code blocks (links inside them are examples)."""
+    out: list[str] = []
+    fenced = False
+    for line in text.splitlines():
+        if FENCE_RE.match(line):
+            fenced = not fenced
+            continue
+        if not fenced:
+            out.append(line)
+    return "\n".join(out)
+
+
+def anchors_of(path: Path) -> set[str]:
+    slugs: set[str] = set()
+    counts: dict[str, int] = {}
+    for match in HEADING_RE.finditer(strip_fences(path.read_text())):
+        slug = github_slug(match.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def collect_files(targets: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for target in targets:
+        path = REPO / target
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        elif path.exists():
+            files.append(path)
+    return files
+
+
+def check_file(path: Path) -> list[str]:
+    errors: list[str] = []
+    text = strip_fences(path.read_text())
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, fragment = target.partition("#")
+        if base:
+            resolved = (path.parent / base).resolve()
+            if not resolved.exists():
+                errors.append(f"{path.relative_to(REPO)}: broken link "
+                              f"-> {target} (no such file)")
+                continue
+        else:
+            resolved = path
+        if fragment:
+            if resolved.suffix != ".md" or not resolved.is_file():
+                continue  # anchors into non-markdown: nothing to check
+            if fragment not in anchors_of(resolved):
+                errors.append(f"{path.relative_to(REPO)}: broken anchor "
+                              f"-> {target} (no heading "
+                              f"'#{fragment}' in "
+                              f"{resolved.relative_to(REPO)})")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    files = collect_files(argv[1:] or DEFAULT_TARGETS)
+    if not files:
+        print("check_docs: no markdown files found", file=sys.stderr)
+        return 1
+    errors: list[str] = []
+    links = 0
+    for path in files:
+        links += len(LINK_RE.findall(strip_fences(path.read_text())))
+        errors.extend(check_file(path))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"check_docs: {len(files)} files, {links} links, "
+          f"{len(errors)} broken")
+    return len(errors)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
