@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..network.gatetype import CONST_TYPES, GateType, base_type
+from ..network.gatetype import GateType, base_type
 from ..network.netlist import Network, Pin
 from ..logic.values import (
     Value,

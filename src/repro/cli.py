@@ -14,7 +14,6 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .library.cells import default_library
 from .rapids.report import Table1Row, averages
 from .suite.flow import FlowConfig, run_benchmark, run_suite
 from .suite.registry import PAPER_AVERAGES, REGISTRY, benchmark_names

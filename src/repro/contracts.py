@@ -1,0 +1,65 @@
+"""Machine-checked contract markers consumed by ``python -m tools.lint``.
+
+The repository's headline guarantee — every incremental, batched, or
+parallel path is bit-identical to its serial reference — rests on a
+handful of invariants that used to live only in docstrings.  This
+module gives those invariants *names in the code* so the static
+analysis suite in ``tools/lint`` can enforce them (the four rule
+families are documented in ``docs/architecture.md``):
+
+* :func:`projection_only` — the decorated callable prices candidates
+  purely from cached analysis state: no reachable call (through a
+  module-local call graph) may mutate the :class:`~repro.network.
+  netlist.Network` or emit mutation events.
+* :func:`worker_entry` — the decorated function is an
+  :class:`~repro.parallel.pool.EvalPool` worker entry point: code
+  reachable from it must not write module-level mutable globals,
+  except at sites explicitly waived with a ``# lint: allow(
+  worker-global)`` pragma (each such waiver is a known obstacle for
+  the session-scoping work in ROADMAP item 3).
+* modules that declare ``__deterministic__ = True`` opt into the
+  determinism lint: unsorted ``set`` iteration whose results feed
+  float accumulation, ``min``/``max``/``sorted`` tie-breaking, or
+  first-wins selection is flagged (the PR-2 ``PYTHONHASHSEED`` bug
+  class).
+
+All markers are runtime no-ops: they only tag the object (or module)
+for the linter and for readers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+_F = TypeVar("_F", bound=Callable)
+
+
+def projection_only(func: _F) -> _F:
+    """Declare that *func* prices candidates without mutating anything.
+
+    The contract (see ``docs/architecture.md``, "The projection-only
+    pricing contract"): the function — and everything it reaches
+    through module-local calls — computes what-if results purely from
+    cached engine state.  It never calls a mutating ``Network`` method,
+    never emits events, and therefore never invalidates a subscribed
+    engine.  ``python -m tools.lint`` verifies this statically;
+    listener-spy tests verify it dynamically.
+    """
+    func.__projection_only__ = True
+    return func
+
+
+def worker_entry(func: _F) -> _F:
+    """Declare that *func* runs inside an :class:`EvalPool` worker.
+
+    Code reachable from a worker entry point must not write
+    module-level mutable globals: worker processes are shared across
+    batches (and, once ROADMAP item 3 lands, across sessions), so
+    hidden module state is either a correctness hazard or a
+    session-scoping obstacle.  ``python -m tools.lint`` walks the
+    cross-module call graph from every marked entry point and flags
+    each write; intentional caches carry a ``# lint: allow(
+    worker-global)`` waiver at the write site.
+    """
+    func.__worker_entry__ = True
+    return func

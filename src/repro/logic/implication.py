@@ -20,7 +20,6 @@ from dataclasses import dataclass, field
 
 from ..network.gatetype import (
     GateType,
-    WIRE_TYPES,
     XOR_TYPES,
     forced_input_value,
     forcing_output_value,

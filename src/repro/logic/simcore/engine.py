@@ -26,6 +26,7 @@ from __future__ import annotations
 import heapq
 from typing import Iterable, Mapping
 
+from ...network import events
 from ...network.netlist import Network
 from ..simulate import variable_word
 from .backends import SimBackend, make_backend
@@ -33,8 +34,15 @@ from .compiled import CompiledNetwork, get_compiled
 
 #: Structural mutation kinds that force a recompile + full resweep.
 _STRUCTURAL = frozenset({
-    "add_gate", "remove_gate", "add_input", "add_output",
-    "replace_output", "set_gate_type", "set_fanins", "restore", "unknown",
+    events.ADD_GATE,
+    events.REMOVE_GATE,
+    events.ADD_INPUT,
+    events.ADD_OUTPUT,
+    events.REPLACE_OUTPUT,
+    events.SET_GATE_TYPE,
+    events.SET_FANINS,
+    events.RESTORE,
+    events.UNKNOWN,
 })
 
 
@@ -64,15 +72,15 @@ class SimEngine:
     # mutation events
     # ------------------------------------------------------------------
     def notify_network_event(self, kind: str, data: dict) -> None:
-        if kind in ("set_cell",):
+        if kind in (events.SET_CELL,):
             return  # cell binding does not affect logic values
         if kind in _STRUCTURAL:
             self._needs_recompile = True
             self._needs_full_sweep = True
             return
-        if kind == "replace_fanin":
+        if kind == events.REPLACE_FANIN:
             self._patch(data["pin"].gate, data["pin"].index, data["new"])
-        elif kind == "swap_fanins":
+        elif kind == events.SWAP_FANINS:
             self._patch(data["pin_a"].gate, data["pin_a"].index, data["net_b"])
             self._patch(data["pin_b"].gate, data["pin_b"].index, data["net_a"])
         else:  # unrecognized mutation: treat as untracked

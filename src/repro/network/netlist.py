@@ -16,12 +16,15 @@ timing graphs) cache against a network snapshot and detect staleness.
 Incremental analyses additionally need to know *what* changed, not
 just *that* something changed: every mutating method therefore emits a
 typed mutation event to subscribed listeners (held weakly, so a
-forgotten engine never leaks).  A mutation performed outside these
-methods still bumps the version through :meth:`Network._touch`, which
-then emits the catch-all ``"unknown"`` event — listeners treat it as a
-full invalidation, so bypassing the typed mutators is safe, merely
-slower.  The event taxonomy and each engine's invalidation rules are
-documented in ``docs/architecture.md``.
+forgotten engine never leaks).  Event kinds and operand schemas are
+declared once in :mod:`repro.network.events`; emission sites here pass
+those constants and are statically checked against the registry by
+``python -m tools.lint``.  A mutation performed outside these methods
+still bumps the version through :meth:`Network._touch`, which then
+emits the catch-all :data:`repro.network.events.UNKNOWN` event —
+listeners treat it as a full invalidation, so bypassing the typed
+mutators is safe, merely slower.  The event taxonomy and each engine's
+invalidation rules are documented in ``docs/architecture.md``.
 """
 
 from __future__ import annotations
@@ -31,6 +34,7 @@ import weakref
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, NamedTuple, Protocol
 
+from . import events
 from .gatetype import (
     CONST_TYPES,
     GateType,
@@ -138,13 +142,13 @@ class Network:
             raise NetworkError(f"net {name!r} already driven by a gate")
         self.inputs.append(name)
         self._input_set.add(name)
-        self._touch(("add_input", {"net": name}))
+        self._touch((events.ADD_INPUT, {"net": name}))
         return name
 
     def add_output(self, net: str) -> str:
         """Declare *net* a primary output (it may also feed other gates)."""
         self.outputs.append(net)
-        self._touch(("add_output", {"net": net}))
+        self._touch((events.ADD_OUTPUT, {"net": net}))
         return net
 
     def add_gate(
@@ -167,7 +171,9 @@ class Network:
             )
         gate = Gate(name=name, gtype=gtype, fanins=fanin_list, cell=cell)
         self._gates[name] = gate
-        self._touch(("add_gate", {"gate": name, "fanins": tuple(fanin_list)}))
+        self._touch((
+            events.ADD_GATE, {"gate": name, "fanins": tuple(fanin_list)}
+        ))
         return gate
 
     def remove_gate(self, name: str) -> None:
@@ -183,7 +189,7 @@ class Network:
             raise NetworkError(f"gate {name!r} is a primary output")
         fanins = tuple(self._gates[name].fanins)
         del self._gates[name]
-        self._touch(("remove_gate", {"gate": name, "fanins": fanins}))
+        self._touch((events.REMOVE_GATE, {"gate": name, "fanins": fanins}))
 
     # ------------------------------------------------------------------
     # queries
@@ -342,7 +348,7 @@ class Network:
     def _touch(self, event: tuple[str, dict] | None = None) -> None:
         self.version += 1
         if self._listeners:
-            kind, data = event if event is not None else ("unknown", {})
+            kind, data = event if event is not None else (events.UNKNOWN, {})
             for listener in tuple(self._listeners):
                 listener.notify_network_event(kind, data)
 
@@ -353,7 +359,9 @@ class Network:
             raise NetworkError(f"unknown net {net!r}")
         old = gate.fanins[pin.index]
         gate.fanins[pin.index] = net
-        self._touch(("replace_fanin", {"pin": pin, "old": old, "new": net}))
+        self._touch((
+            events.REPLACE_FANIN, {"pin": pin, "old": old, "new": net}
+        ))
         return old
 
     def swap_fanins(self, pin_a: Pin, pin_b: Pin) -> None:
@@ -363,7 +371,7 @@ class Network:
         self.gate(pin_a.gate).fanins[pin_a.index] = net_b
         self.gate(pin_b.gate).fanins[pin_b.index] = net_a
         self._touch((
-            "swap_fanins",
+            events.SWAP_FANINS,
             {"pin_a": pin_a, "pin_b": pin_b, "net_a": net_a, "net_b": net_b},
         ))
 
@@ -372,7 +380,7 @@ class Network:
         if new not in self:
             raise NetworkError(f"unknown net {new!r}")
         self.outputs = [new if net == old else net for net in self.outputs]
-        self._touch(("replace_output", {"old": old, "new": new}))
+        self._touch((events.REPLACE_OUTPUT, {"old": old, "new": new}))
 
     def set_gate_type(self, name: str, gtype: GateType) -> None:
         """Change a gate's logic type in place (arity must stay legal)."""
@@ -385,14 +393,16 @@ class Network:
         gate.gtype = gtype
         gate.cell = None
         self._touch((
-            "set_gate_type", {"gate": name, "fanins": tuple(gate.fanins)}
+            events.SET_GATE_TYPE, {"gate": name, "fanins": tuple(gate.fanins)}
         ))
 
     def set_cell(self, name: str, cell: str | None) -> None:
         """Rebind a gate to a library cell (``None`` unbinds)."""
         gate = self.gate(name)
         gate.cell = cell
-        self._touch(("set_cell", {"gate": name, "fanins": tuple(gate.fanins)}))
+        self._touch((
+            events.SET_CELL, {"gate": name, "fanins": tuple(gate.fanins)}
+        ))
 
     def set_fanins(self, name: str, fanins: Iterable[str]) -> None:
         """Replace a gate's whole fanin list.
@@ -404,7 +414,8 @@ class Network:
         old = tuple(gate.fanins)
         gate.fanins = list(fanins)
         self._touch((
-            "set_fanins", {"gate": name, "old": old, "new": tuple(gate.fanins)}
+            events.SET_FANINS,
+            {"gate": name, "old": old, "new": tuple(gate.fanins)},
         ))
 
     def recent_gates(self, count: int) -> list[str]:

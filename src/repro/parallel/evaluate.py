@@ -19,6 +19,13 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Sequence
 
+from ..contracts import projection_only
+
+#: Opt-in to the determinism lint (rule D of ``python -m tools.lint``):
+#: this module's float accumulations and tie-breaks must never follow
+#: set-iteration (= PYTHONHASHSEED) order.
+__deterministic__ = True
+
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from ..library.cells import Library
     from ..sizing.coudert import Site
@@ -28,6 +35,7 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
 Selection = tuple[float, float, int]
 
 
+@projection_only
 def best_phase_move(
     site: "Site",
     engine: "TimingEngine",
@@ -71,6 +79,7 @@ def best_phase_move(
     return (best_score, best_area, best_index)
 
 
+@projection_only
 def evaluate_shard(
     engine: "TimingEngine",
     library: "Library",

@@ -25,6 +25,7 @@ from __future__ import annotations
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import TYPE_CHECKING, Sequence
 
+from ..contracts import worker_entry
 from .evaluate import (
     Selection,
     evaluate_shard,
@@ -39,6 +40,7 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from ..timing.sta import TimingEngine
 
 
+@worker_entry
 def _evaluate_in_worker(
     payload: bytes,
     shard: list[tuple[int, "Site"]],

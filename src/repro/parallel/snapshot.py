@@ -35,10 +35,10 @@ from __future__ import annotations
 import os
 import pickle
 import weakref
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from ..network.netlist import Gate, Network
+from ..network.netlist import Gate
 from ..place.placement import Placement
 from ..timing.sta import EvalState
 
@@ -302,7 +302,10 @@ def decode(payload: bytes) -> EvalState | None:
     """
     kind, token, baseline_id, body = pickle.loads(payload)
     if kind == "full":
-        _BASELINES[token] = (baseline_id, body)
+        # the delta protocol's whole point is this worker-side cache;
+        # it keys on the pool session token, so session scoping
+        # (ROADMAP item 3) only has to narrow the key, not the design
+        _BASELINES[token] = (baseline_id, body)  # lint: allow(worker-global)
         # hand out a clone, never the cached object: an engine built
         # from the return value may legally commit moves through it
         # (from_eval_state advertises that), and a mutated baseline

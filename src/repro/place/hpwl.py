@@ -37,6 +37,8 @@ move cells anyway.
 
 from __future__ import annotations
 
+from ..contracts import projection_only
+from ..network import events
 from ..network.netlist import Network, Pin
 from .placement import Placement, output_pad_points
 
@@ -45,10 +47,28 @@ try:  # numpy accelerates batch scoring; the scalar path needs nothing
 except ImportError:  # pragma: no cover - exercised only on minimal installs
     _np = None
 
-_INCREMENTAL_EVENTS = frozenset({"swap_fanins", "replace_fanin"})
+#: Opt-in to the determinism lint (rule D of ``python -m tools.lint``):
+#: this module's float accumulations and tie-breaks must never follow
+#: set-iteration (= PYTHONHASHSEED) order.
+__deterministic__ = True
+
+_INCREMENTAL_EVENTS = frozenset({events.SWAP_FANINS, events.REPLACE_FANIN})
 #: Mutations with no geometric effect: cell/type rebinds keep every
 #: terminal where it was.
-_GEOMETRY_NEUTRAL_EVENTS = frozenset({"set_cell", "set_gate_type"})
+_GEOMETRY_NEUTRAL_EVENTS = frozenset({events.SET_CELL, events.SET_GATE_TYPE})
+#: Everything else stales the flattening itself: gates or IO bindings
+#: appear/disappear (new terminals, new pad points) or the mutation is
+#: a restore/untracked change whose extent is unknown to this engine.
+_REBUILD_EVENTS = frozenset({
+    events.ADD_GATE,
+    events.REMOVE_GATE,
+    events.SET_FANINS,
+    events.ADD_INPUT,
+    events.ADD_OUTPUT,
+    events.REPLACE_OUTPUT,
+    events.RESTORE,
+    events.UNKNOWN,
+})
 
 
 class WirelengthEngine:
@@ -84,14 +104,17 @@ class WirelengthEngine:
     def notify_network_event(self, kind: str, data: dict) -> None:
         if self._needs_rebuild or kind in _GEOMETRY_NEUTRAL_EVENTS:
             return
-        if kind == "swap_fanins":
+        if kind == events.SWAP_FANINS:
             self._move_pin(data["pin_a"], data["net_a"], data["net_b"])
             self._move_pin(data["pin_b"], data["net_b"], data["net_a"])
-        elif kind == "replace_fanin":
+        elif kind == events.REPLACE_FANIN:
             self._move_pin(data["pin"], data["old"], data["new"])
-        else:
+        elif kind in _REBUILD_EVENTS:
             # structural change (gates added/removed, IO rebinds,
             # restores, untracked): the flattening itself is stale
+            self._needs_rebuild = True
+        else:
+            # unregistered/future kinds: treat as untracked
             self._needs_rebuild = True
 
     def _move_pin(self, pin: Pin, old_net: str, new_net: str) -> None:
@@ -179,6 +202,7 @@ class WirelengthEngine:
     # ------------------------------------------------------------------
     # candidate pricing (no mutation, no events)
     # ------------------------------------------------------------------
+    @projection_only
     def swap_delta(self, pin_a: Pin, pin_b: Pin) -> float:
         """HPWL change of exchanging the two pins' drivers (negative =
         shorter), priced arithmetically against the cached extrema."""
@@ -216,6 +240,7 @@ class WirelengthEngine:
         )
         return width + height
 
+    @projection_only
     def score_swaps(self, pairs: list[tuple[Pin, Pin]]) -> list[float]:
         """Deltas for a batch of candidate pin swaps, one vectorized pass.
 
@@ -270,6 +295,7 @@ class WirelengthEngine:
             + self._after(index_b, bx, by, ax, ay)
         ) - (self._hpwl[index_a] + self._hpwl[index_b])
 
+    @projection_only
     def rebind_delta(self, bindings: list[tuple[Pin, str]]) -> float:
         """HPWL change of a batched pin-rebinding (cross-swap pricing).
 

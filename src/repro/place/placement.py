@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..library.cells import Library, ROW_HEIGHT_UM
-from ..network.netlist import Network, Pin
+from ..network.netlist import Network
 
 
 @dataclass

@@ -24,6 +24,11 @@ from ..network.netlist import Network
 from .fm import bipartition
 from .placement import Placement, die_for, net_hpwl, total_hpwl
 
+#: Opt-in to the determinism lint (rule D of ``python -m tools.lint``):
+#: this module's float accumulations and tie-breaks must never follow
+#: set-iteration (= PYTHONHASHSEED) order.
+__deterministic__ = True
+
 
 def place(
     network: Network,

@@ -30,6 +30,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from ..library.cells import Library
+from ..network import events
 from ..network.netlist import Network
 from ..place.placement import Placement, perturbation
 from ..sizing.coudert import OptimizeResult, Site, optimize
@@ -165,44 +166,44 @@ class SupergateCache:
         network.subscribe(self)
 
     def notify_network_event(self, kind: str, data: dict) -> None:
-        if kind == "replace_fanin":
+        if kind == events.REPLACE_FANIN:
             self._touched_nets.add(data["old"])
             self._touched_nets.add(data["new"])
             self._touched_gates.add(data["pin"].gate)
-        elif kind == "swap_fanins":
+        elif kind == events.SWAP_FANINS:
             self._touched_nets.add(data["net_a"])
             self._touched_nets.add(data["net_b"])
             self._touched_gates.add(data["pin_a"].gate)
             self._touched_gates.add(data["pin_b"].gate)
-        elif kind == "add_gate":
+        elif kind == events.ADD_GATE:
             self._removed.discard(data["gate"])
             self._touched_gates.add(data["gate"])
             self._touched_nets.update(data["fanins"])
-        elif kind == "remove_gate":
+        elif kind == events.REMOVE_GATE:
             self._removed.add(data["gate"])
             self._touched_gates.discard(data["gate"])
             self._touched_nets.update(data["fanins"])
-        elif kind == "set_gate_type":
+        elif kind == events.SET_GATE_TYPE:
             # the gate's own net is a growth boundary for its
             # consumers' supergates: a class change (say XOR -> INV)
             # can make it absorbable, so their owners must re-grow
             self._touched_gates.add(data["gate"])
             self._touched_nets.add(data["gate"])
             self._touched_nets.update(data["fanins"])
-        elif kind == "set_fanins":
+        elif kind == events.SET_FANINS:
             self._touched_gates.add(data["gate"])
             self._touched_nets.add(data["gate"])
             self._touched_nets.update(data["old"])
             self._touched_nets.update(data["new"])
-        elif kind == "set_cell":
+        elif kind == events.SET_CELL:
             pass  # cell binding does not change supergate structure
-        elif kind in ("add_output", "replace_output", "add_input"):
+        elif kind in (events.ADD_OUTPUT, events.REPLACE_OUTPUT, events.ADD_INPUT):
             # fanout degree counts primary-output use, so coverage
             # boundaries can move when PO bindings change
             for key in ("net", "old", "new"):
                 if key in data:
                     self._touched_nets.add(data[key])
-        elif kind == "restore":
+        elif kind == events.RESTORE:
             if data["io_changed"]:
                 self._full = True
                 return

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..contracts import projection_only
 from ..library.cells import Library
 from ..network.gatetype import GateType
 from ..network.netlist import Network
@@ -19,6 +20,11 @@ from ..sizing.coudert import Site
 from ..symmetry.supergate import Supergate, SupergateNetwork
 from ..symmetry.swap import PinSwap, apply_swap, enumerate_swaps
 from ..timing.sta import Gains, TimingEngine
+
+#: Opt-in to the determinism lint (rule D of ``python -m tools.lint``):
+#: this module's float accumulations and tie-breaks must never follow
+#: set-iteration (= PYTHONHASHSEED) order.
+__deterministic__ = True
 
 #: Per-supergate cap on evaluated swap candidates; beyond this, pairs
 #: are restricted to the most timing-critical pins.
@@ -31,6 +37,7 @@ class SwapMove:
 
     swap: PinSwap
 
+    @projection_only
     def gains(self, engine: TimingEngine) -> Gains:
         return engine.swap_gain(self.swap)
 

@@ -60,6 +60,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..contracts import projection_only
 from ..network.netlist import Network, Pin
 from ..place.hpwl import WirelengthEngine
 from ..place.placement import Placement, net_terminals, total_hpwl
@@ -72,6 +73,11 @@ from ..symmetry.cross import (
 from ..symmetry.supergate import extract_supergates
 from ..symmetry.swap import apply_swap, enumerate_swaps
 from ..timing.sta import PROJECTION_DRIFT_TOL, TimingEngine
+
+#: Opt-in to the determinism lint (rule D of ``python -m tools.lint``):
+#: this module's float accumulations and tie-breaks must never follow
+#: set-iteration (= PYTHONHASHSEED) order.
+__deterministic__ = True
 
 
 @dataclass
@@ -125,6 +131,7 @@ def _exchanged(
     return edited
 
 
+@projection_only
 def swap_hpwl_delta(
     network: Network, placement: Placement, swap
 ) -> float:

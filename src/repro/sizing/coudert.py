@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Protocol
 
 from ..library.cells import Library
+from ..network import events
 from ..network.netlist import Network
 from ..parallel import EvalPool, best_phase_move
 from ..place.placement import Placement
@@ -454,7 +455,7 @@ def _restore(
     placement.input_pads = dict(best_placement.input_pads)
     placement.output_pads = dict(best_placement.output_pads)
     network._touch((
-        "restore",
+        events.RESTORE,
         {
             "added": added,
             "removed": removed,

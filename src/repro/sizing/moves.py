@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..contracts import projection_only
 from ..library.cells import Library
 from ..network.netlist import Network
 from ..sizing.coudert import Site
@@ -26,6 +27,7 @@ class ResizeMove:
     old_cell: str
     new_cell: str
 
+    @projection_only
     def gains(self, engine: TimingEngine) -> Gains:
         return engine.resize_gain(self.gate, self.new_cell)
 

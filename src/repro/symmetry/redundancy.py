@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..network.gatetype import CONST_TYPES, GateType
+from ..network.gatetype import GateType
 from ..network.netlist import Network, Pin
 from ..logic.implication import backward_imply, implies_inputs
 from .supergate import SgClass, SupergateNetwork, extract_supergates

@@ -25,13 +25,10 @@ from ..library.cells import Library
 from ..network.gatetype import (
     CONST_TYPES,
     GateType,
-    WIRE_TYPES,
-    base_type,
     complement_type,
-    is_inverted,
 )
 from ..network.netlist import Gate, Network, NetworkError
-from ..network.transform import cleanup, collapse_wire_pairs, sweep
+from ..network.transform import collapse_wire_pairs, sweep
 
 _DECOMPOSE_BASE = {
     GateType.AND: (GateType.AND, False),

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import heapq
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, NamedTuple
 
 try:  # numpy accelerates batch slack projection; scalar path needs nothing
@@ -47,6 +47,8 @@ except ImportError:  # pragma: no cover - exercised only on minimal installs
 
 from ..library.cells import Cell, Library
 from ..network.gatetype import CONST_TYPES, GateType, XOR_TYPES, is_inverted
+from ..contracts import projection_only
+from ..network import events
 from ..network.netlist import Network, Pin
 from ..place.placement import Placement
 from ..symmetry.swap import PinSwap
@@ -57,6 +59,11 @@ from .netmodel import (
     build_star,
     pin_capacitance,
 )
+
+#: Opt-in to the determinism lint (rule D of ``python -m tools.lint``):
+#: this module's float accumulations and tie-breaks must never follow
+#: set-iteration (= PYTHONHASHSEED) order.
+__deterministic__ = True
 
 _NEGATIVE_UNATE = frozenset(
     {GateType.INV, GateType.NAND, GateType.NOR}
@@ -238,48 +245,48 @@ class TimingEngine:
     # ------------------------------------------------------------------
     def notify_network_event(self, kind: str, data: dict) -> None:
         """Accumulate dirty state from a network mutation event."""
-        if kind == "replace_fanin":
+        if kind == events.REPLACE_FANIN:
             self._dirty_stars.add(data["old"])
             self._dirty_stars.add(data["new"])
             self._dirty_gates.add(data["pin"].gate)
             self._structure_dirty = True
-        elif kind == "swap_fanins":
+        elif kind == events.SWAP_FANINS:
             self._dirty_stars.add(data["net_a"])
             self._dirty_stars.add(data["net_b"])
             self._dirty_gates.add(data["pin_a"].gate)
             self._dirty_gates.add(data["pin_b"].gate)
             self._structure_dirty = True
-        elif kind == "add_gate":
+        elif kind == events.ADD_GATE:
             self._dead.discard(data["gate"])
             self._dirty_stars.add(data["gate"])
             self._dirty_stars.update(data["fanins"])
             self._dirty_gates.add(data["gate"])
             self._structure_dirty = True
-        elif kind == "remove_gate":
+        elif kind == events.REMOVE_GATE:
             name = data["gate"]
             self._dead.add(name)
             self._dirty_stars.discard(name)
             self._dirty_gates.discard(name)
             self._dirty_stars.update(data["fanins"])
             self._structure_dirty = True
-        elif kind in ("set_cell", "set_gate_type"):
+        elif kind in (events.SET_CELL, events.SET_GATE_TYPE):
             # own delay arcs change; fanin nets see a new pin load
             self._dirty_gates.add(data["gate"])
             self._dirty_stars.update(data["fanins"])
-        elif kind == "set_fanins":
+        elif kind == events.SET_FANINS:
             self._dirty_stars.update(data["old"])
             self._dirty_stars.update(data["new"])
             self._dirty_gates.add(data["gate"])
             self._structure_dirty = True
-        elif kind == "add_input":
+        elif kind == events.ADD_INPUT:
             self._dirty_stars.add(data["net"])
             self._structure_dirty = True
-        elif kind == "add_output":
+        elif kind == events.ADD_OUTPUT:
             self._dirty_stars.add(data["net"])
-        elif kind == "replace_output":
+        elif kind == events.REPLACE_OUTPUT:
             self._dirty_stars.add(data["old"])
             self._dirty_stars.add(data["new"])
-        elif kind == "restore":
+        elif kind == events.RESTORE:
             # a snapshot rollback, delivered as an exact gate diff
             if data["io_changed"]:
                 self._needs_full = True
@@ -750,6 +757,7 @@ class TimingEngine:
     # ------------------------------------------------------------------
     # local what-if evaluation
     # ------------------------------------------------------------------
+    @projection_only
     def swap_gain(self, swap: PinSwap) -> Gains:
         """Projected local slack gains of a pin swap (ns).
 
@@ -827,6 +835,7 @@ class TimingEngine:
             context[gate_name] = projected
         return self._local_gain(frontier)
 
+    @projection_only
     def resize_gain(self, gate_name: str, new_cell_name: str) -> Gains:
         """Projected local slack gains of a gate resize."""
         network = self.network
@@ -966,6 +975,7 @@ class TimingEngine:
     # ------------------------------------------------------------------
     # batch slack projection (timing-aware wirelength rewiring)
     # ------------------------------------------------------------------
+    @projection_only
     def project_swap_slacks(
         self,
         batch: list[tuple[tuple[Pin, str], ...]],

@@ -1,0 +1,34 @@
+"""The PR-2 sites as fixed: sorted iteration and tie-broken keys."""
+
+__deterministic__ = True
+
+
+def anneal_cost(affected_nets: set, net_hpwl):
+    delta = 0.0
+    for net in sorted(affected_nets):
+        delta += net_hpwl(net)
+    return delta
+
+
+def resize_gain(gate, cap):
+    total = 0.0
+    for fanin in sorted(set(gate.fanins)):
+        total += cap[fanin]
+    return total
+
+
+def bounded_swaps(candidates: frozenset, pin_slack):
+    # the element itself in the key tuple breaks slack ties
+    return min(candidates, key=lambda pin: (pin_slack(pin), pin))
+
+
+def bare_min(weights: set):
+    # no key at all: ordered by the element values themselves — safe
+    return min(weights)
+
+
+def waived(stars: set, rc):
+    total = 0.0
+    for star in stars:  # lint: allow(determinism)
+        total += rc(star)
+    return total

@@ -1,0 +1,27 @@
+"""Seeded events-rule violations: every class the rule must catch."""
+
+
+class BadEmitter:
+    def add_widget(self, name):
+        # unregistered kind + bare string
+        self._touch(("add_widget", {"gate": name}))
+
+    def add_gate(self, name, fanins):
+        # registered kind, bare string, payload misses 'fanins' and
+        # smuggles an unregistered operand
+        self._touch(("add_gate", {"gate": name, "extra": fanins}))
+
+
+class PartialListener:
+    """Handles two kinds, ignores the rest silently: both findings."""
+
+    def notify_network_event(self, event):
+        kind, data = event
+        if kind == "replace_fanin":
+            self.dirty(data["pin"])
+        elif kind == "swap_fanins":
+            # operand misuse: 'old' is not in swap_fanins' schema
+            self.dirty(data["old"])
+
+    def dirty(self, pin):
+        pass

@@ -1,0 +1,46 @@
+"""Blessed events idioms: constants, full coverage, kind-set dispatch."""
+
+from repro.network import events
+
+_STRUCTURAL = frozenset({
+    events.ADD_GATE,
+    events.REMOVE_GATE,
+    events.SET_FANINS,
+    events.ADD_INPUT,
+    events.ADD_OUTPUT,
+    events.REPLACE_OUTPUT,
+    events.RESTORE,
+    events.UNKNOWN,
+})
+
+
+class GoodEmitter:
+    def add_gate(self, name, fanins):
+        self._touch((events.ADD_GATE, {"gate": name, "fanins": tuple(fanins)}))
+
+    def out_of_band(self):
+        self._touch()  # bare touch: reaches listeners as 'unknown'
+
+
+class FullListener:
+    """Every kind mentioned: handled, set-dispatched, or catch-all."""
+
+    def notify_network_event(self, event):
+        kind, data = event
+        if kind == events.REPLACE_FANIN:
+            self.dirty(data["pin"], data["old"], data["new"])
+        elif kind == events.SWAP_FANINS:
+            self.dirty(data["pin_a"], data["net_a"], data["net_b"])
+        elif kind in (events.SET_CELL, events.SET_GATE_TYPE):
+            pass  # geometry-neutral: explicitly ignored
+        elif kind in _STRUCTURAL:
+            self.rebuild()
+        else:
+            # unregistered/future kinds: full invalidation
+            self.rebuild()
+
+    def dirty(self, *args):
+        pass
+
+    def rebuild(self):
+        pass

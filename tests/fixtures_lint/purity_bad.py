@@ -1,0 +1,28 @@
+"""Seeded purity violations: direct, transitive, and emission cases."""
+
+from repro.contracts import projection_only
+
+
+@projection_only
+def direct_mutation(network, gate):
+    network.set_cell(gate, "INVX4")
+    return 0.0
+
+
+@projection_only
+def transitive_mutation(network, gate):
+    return _helper(network, gate)
+
+
+def _helper(network, gate):
+    # reached through the module-local call graph
+    network.replace_fanin(gate, "a", "b")
+    return 0.0
+
+
+class Pricer:
+    @projection_only
+    def gains(self, network):
+        # event emission is as impure as the mutation it signals
+        network._touch()
+        return []

@@ -1,0 +1,21 @@
+"""Blessed purity idioms: read-only projection, local overlays."""
+
+from repro.contracts import projection_only
+
+
+@projection_only
+def projected_delta(network, gate, candidate):
+    overlay = dict(network.gates[gate].fanins_map())
+    overlay[candidate.pin] = candidate.net
+    return sum(_arc_delay(network, net) for net in overlay.values())
+
+
+def _arc_delay(network, net):
+    # reads cached analysis; never mutates, never emits
+    return network.arrival.get(net, 0.0)
+
+
+class Pricer:
+    @projection_only
+    def gains(self, network, moves):
+        return [projected_delta(network, m.gate, m) for m in moves]

@@ -1,0 +1,20 @@
+"""Seeded worker-safety violations: direct, transitive, and methods."""
+
+from repro.contracts import worker_entry
+
+RESULT_CACHE = {}
+SEEN = set()
+COUNTER = 0
+
+
+@worker_entry
+def run_shard(task):
+    RESULT_CACHE[task.key] = _evaluate(task)
+    return RESULT_CACHE[task.key]
+
+
+def _evaluate(task):
+    global COUNTER
+    COUNTER += 1  # rebinding through `global`
+    SEEN.add(task.key)  # mutating method on a module global
+    return COUNTER

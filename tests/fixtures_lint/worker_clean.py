@@ -1,0 +1,20 @@
+"""Blessed worker idioms: locals, parameters, and the explicit waiver."""
+
+from repro.contracts import worker_entry
+
+BASELINES = {}
+
+
+@worker_entry
+def run_shard(task, scratch=None):
+    scratch = scratch if scratch is not None else {}
+    scratch[task.key] = _evaluate(task, scratch)
+    return scratch[task.key]
+
+
+def _evaluate(task, scratch):
+    # session-keyed worker cache, waived on purpose (ROADMAP item 3)
+    BASELINES[task.token] = task.baseline  # lint: allow(worker-global)
+    local = set()
+    local.add(task.key)
+    return len(local)

@@ -1,6 +1,5 @@
 """ROBDD package: canonicity, operations, network construction."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -12,7 +11,7 @@ from repro.logic.bdd import (
     bdd_nes,
     network_bdds,
 )
-from repro.logic.simulate import table_mask, truth_tables, variable_word
+from repro.logic.simulate import table_mask, truth_tables
 from repro.logic.truthtable import is_es, is_nes
 
 from helpers import random_network
@@ -125,7 +124,6 @@ def test_network_bdds_agree_with_truth_tables():
         net = random_network(seed, num_gates=15)
         manager, funcs = network_bdds(net)
         tables = truth_tables(net)
-        num_vars = len(net.inputs)
         for out in net.outputs:
             rebuilt = bdd_from_table(
                 manager, tables[out], list(net.inputs)

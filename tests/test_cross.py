@@ -1,7 +1,6 @@
 """Cross-supergate swapping (Definition 4 / Theorem 2)."""
 
 from repro.network.builder import NetworkBuilder
-from repro.network.gatetype import GateType
 from repro.logic.simulate import truth_tables, variable_word
 from repro.symmetry.cross import (
     apply_cross_swap,

@@ -1,6 +1,5 @@
 """Fanout buffering (the paper's future-work item) and congestion."""
 
-import pytest
 
 from repro.network.builder import NetworkBuilder
 from repro.place.congestion import congestion_map, congestion_stats

@@ -6,7 +6,6 @@ from repro.logic.simulate import truth_tables
 from repro.network.bench_io import bench_text, parse_bench
 from repro.network.blif import blif_text, parse_blif
 from repro.network.netlist import NetworkError
-from repro.verify.equiv import networks_equivalent
 
 from helpers import random_network
 

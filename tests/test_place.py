@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.network.builder import NetworkBuilder
 from repro.place.fm import bipartition

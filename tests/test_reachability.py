@@ -1,7 +1,6 @@
 """Definition 1 predicates and Theorem 1 (reachability <=> symmetry)."""
 
 from repro.network.builder import NetworkBuilder
-from repro.network.gatetype import GateType
 from repro.network.netlist import Pin
 from repro.symmetry.reachability import (
     and_or_implied_value,

@@ -5,7 +5,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.network.builder import NetworkBuilder
-from repro.network.gatetype import GateType
 from repro.network.netlist import Pin
 from repro.symmetry.reachability import (
     and_or_implied_value,

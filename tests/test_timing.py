@@ -91,7 +91,6 @@ def test_sta_hand_computed_chain(library):
     engine.analyze()
     cell = library.cell("NAND2_X2")
     load_g1 = engine.stars["g1"].total_cap
-    wire_a_g1 = engine.stars["i0"].sink_delay(Pin("g1", 0))
     # arrival at g1 (negative unate: rise from fall and vice versa,
     # inputs arrive at 0 so both transitions reduce to wire + gate)
     rise, fall = engine.arrival["g1"]

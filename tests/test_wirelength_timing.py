@@ -16,7 +16,7 @@ batched committer in :mod:`repro.rapids.wirelength`:
 import pytest
 
 from repro.network.builder import NetworkBuilder
-from repro.place.placement import Placement, total_hpwl
+from repro.place.placement import Placement
 from repro.place.placer import place
 from repro.rapids.engine import run_rapids
 from repro.rapids.wirelength import reduce_wirelength, swap_bindings

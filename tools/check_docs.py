@@ -13,8 +13,14 @@ every inline link and verifies:
 * ``http(s)``/``mailto`` links are accepted without network access
   (CI must stay hermetic).
 
-Exit status is the number of broken links, so the CI job fails loudly
-and lists every offender.  No third-party dependencies.
+It also verifies the generated event tables in
+``docs/architecture.md`` are byte-identical to what
+``python -m tools.lint --fix-docs`` would regenerate from
+``repro/network/events.py`` — drift fails the docs-check CI job.
+
+Exit status is the number of broken links (plus drift findings), so
+the CI job fails loudly and lists every offender.  No third-party
+dependencies.
 """
 
 from __future__ import annotations
@@ -112,6 +118,19 @@ def check_file(path: Path) -> list[str]:
     return errors
 
 
+def check_generated_blocks() -> list[str]:
+    """Drift between docs/architecture.md and the events registry."""
+    sys.path.insert(0, str(REPO))
+    try:
+        from tools.lint import docs_sync
+        from tools.lint.core import ensure_src_on_path
+
+        ensure_src_on_path()
+        return [finding.render() for finding in docs_sync.check()]
+    finally:
+        sys.path.remove(str(REPO))
+
+
 def main(argv: list[str]) -> int:
     files = collect_files(argv[1:] or DEFAULT_TARGETS)
     if not files:
@@ -122,6 +141,7 @@ def main(argv: list[str]) -> int:
     for path in files:
         links += len(LINK_RE.findall(strip_fences(path.read_text())))
         errors.extend(check_file(path))
+    errors.extend(check_generated_blocks())
     for error in errors:
         print(error, file=sys.stderr)
     print(f"check_docs: {len(files)} files, {links} links, "

@@ -1,0 +1,151 @@
+"""Generated documentation blocks: registry -> ``docs/architecture.md``.
+
+The event-kind tables in the architecture reference are *generated*
+from :mod:`repro.network.events`, between HTML comment markers:
+
+.. code-block:: markdown
+
+   <!-- BEGIN GENERATED: event-kinds -->
+   ...one table row per registered kind...
+   <!-- END GENERATED: event-kinds -->
+
+``python -m tools.lint --fix-docs`` rewrites every generated block in
+place; the default lint run (and ``tools/check_docs.py``, which CI
+runs) fails when the committed text differs byte-for-byte from the
+regeneration — doc/code agreement is mechanical, not social.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from .core import Finding, REPO, load_events_registry
+
+RULE = "docs"
+
+ARCHITECTURE = REPO / "docs" / "architecture.md"
+
+_BEGIN = "<!-- BEGIN GENERATED: {name} -->"
+_END = "<!-- END GENERATED: {name} -->"
+
+
+def _registry():
+    return load_events_registry()
+
+
+def render_event_table() -> str:
+    """The kind/operand/meaning table, one row per registered kind."""
+    events = _registry()
+    lines = [
+        "| kind | operands | structural | meaning |",
+        "|---|---|---|---|",
+    ]
+    for kind in events.REGISTRY.values():
+        operands = ", ".join(f"`{op}`" for op in kind.operands) or "—"
+        structural = "yes" if kind.structural else "no"
+        lines.append(
+            f"| `{kind.name}` | {operands} | {structural} | {kind.meaning} |"
+        )
+    return "\n".join(lines)
+
+
+def render_emitters_table() -> str:
+    """Which API emits which kind (mutator methods + the two escapes)."""
+    events = _registry()
+    special = {
+        events.RESTORE: "`sizing/coudert.py` best-snapshot rollback",
+        events.UNKNOWN: "bare `Network._touch()` after an out-of-band mutation",
+    }
+    lines = [
+        "| emitter | kind |",
+        "|---|---|",
+    ]
+    for kind in events.REGISTRY.values():
+        emitter = special.get(
+            kind.name, f"`Network.{kind.name}()`"
+        )
+        lines.append(f"| {emitter} | `{kind.name}` |")
+    return "\n".join(lines)
+
+
+#: Every generated block: marker name -> renderer.
+BLOCKS = {
+    "event-kinds": render_event_table,
+    "event-emitters": render_emitters_table,
+}
+
+
+def _block_re(name: str) -> re.Pattern[str]:
+    return re.compile(
+        re.escape(_BEGIN.format(name=name))
+        + r"\n.*?"
+        + re.escape(_END.format(name=name)),
+        re.S,
+    )
+
+
+def regenerate(text: str) -> str:
+    """Text with every generated block replaced by a fresh rendering."""
+    for name, renderer in BLOCKS.items():
+        pattern = _block_re(name)
+        if not pattern.search(text):
+            raise ValueError(
+                f"missing generated-block markers for {name!r} "
+                f"({_BEGIN.format(name=name)})"
+            )
+        replacement = (
+            f"{_BEGIN.format(name=name)}\n{renderer()}\n"
+            f"{_END.format(name=name)}"
+        )
+        text = pattern.sub(lambda _m: replacement, text)
+    return text
+
+
+def fix(path: Path = ARCHITECTURE) -> bool:
+    """Rewrite generated blocks in place; True when the file changed."""
+    original = path.read_text()
+    updated = regenerate(original)
+    if updated != original:
+        path.write_text(updated)
+        return True
+    return False
+
+
+def check(path: Path = ARCHITECTURE) -> list[Finding]:
+    """Findings when the committed blocks differ from regeneration."""
+    try:
+        original = path.read_text()
+    except OSError as exc:
+        return [Finding(RULE, path, 1, f"cannot read: {exc}")]
+    try:
+        updated = regenerate(original)
+    except ValueError as exc:
+        return [Finding(RULE, path, 1, str(exc))]
+    if updated == original:
+        return []
+    first_diff = next(
+        (
+            index
+            for index, (a, b) in enumerate(
+                zip(
+                    original.splitlines(),
+                    updated.splitlines(),
+                ),
+                start=1,
+            )
+            if a != b
+        ),
+        min(
+            len(original.splitlines()), len(updated.splitlines())
+        ) + 1,
+    )
+    return [
+        Finding(
+            RULE,
+            path,
+            first_diff,
+            "generated event tables drifted from repro/network/events.py"
+            " — run `python -m tools.lint --fix-docs`",
+        )
+    ]

@@ -1,0 +1,373 @@
+"""Rule family E — the mutation-event contract.
+
+Verified against the canonical registry (:mod:`repro.network.events`):
+
+* **E1 — emission schema**: every ``_touch((kind, payload))`` call
+  passes a registered kind *constant* (bare strings are flagged: the
+  registry is the single source of truth) and a payload dict literal
+  whose keys equal the registered operand tuple exactly.  A bare
+  ``_touch()`` is the documented untracked-mutation escape hatch and
+  is allowed.
+* **E2 — listener coverage**: every ``notify_network_event``
+  implementation must *mention* every registered kind — handle it or
+  explicitly ignore it via a membership set — and must end in a
+  catch-all branch (or name :data:`~repro.network.events.UNKNOWN`
+  explicitly) so unregistered/future kinds degrade to a full
+  invalidation instead of being silently dropped.
+* **E3 — operand use**: inside a branch guarded by
+  ``kind == events.X`` (or ``kind in (X, Y)``), every constant
+  ``data["key"]`` subscript must name an operand that every guarded
+  kind actually carries.
+
+Suppression pragma: ``# lint: allow(events)``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .core import Finding, Module, Project, load_events_registry
+
+RULE = "events"
+
+EVENTS_MODULE = "repro.network.events"
+
+
+def _registry():
+    return load_events_registry().REGISTRY
+
+
+def resolve_kind(module: Module, node: ast.expr) -> tuple[str | None, bool]:
+    """Resolve an expression to an event-kind string.
+
+    Returns ``(kind, is_constant_ref)``: *kind* is ``None`` when the
+    expression cannot be a kind reference at all; ``is_constant_ref``
+    distinguishes registry constants from bare string literals.
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value, False
+    qualified = module.qualified(node)
+    if qualified and qualified.startswith(EVENTS_MODULE + "."):
+        const = qualified[len(EVENTS_MODULE) + 1 :]
+        registry = _registry()
+        value = getattr(load_events_registry(), const, None)
+        if isinstance(value, str) and value in registry:
+            return value, True
+        return None, True
+    return None, False
+
+
+def _module_kind_sets(module: Module) -> dict[str, set[str]]:
+    """Module-level names bound to sets/tuples of event kinds."""
+    out: dict[str, set[str]] = {}
+    for node in module.tree.body:
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        targets = (
+            node.targets if isinstance(node, ast.Assign) else [node.target]
+        )
+        value = node.value
+        if value is None:
+            continue
+        elements = _set_elements(value)
+        if elements is None:
+            continue
+        kinds: set[str] = set()
+        for element in elements:
+            kind, _ = resolve_kind(module, element)
+            if kind is not None:
+                kinds.add(kind)
+        if not kinds:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                out[target.id] = kinds
+    return out
+
+
+def _set_elements(value: ast.expr) -> list[ast.expr] | None:
+    """Elements of a set/frozenset/tuple/list literal, else ``None``."""
+    if isinstance(value, (ast.Set, ast.Tuple, ast.List)):
+        return list(value.elts)
+    if (
+        isinstance(value, ast.Call)
+        and isinstance(value.func, ast.Name)
+        and value.func.id in ("frozenset", "set", "tuple")
+        and len(value.args) == 1
+    ):
+        return _set_elements(value.args[0])
+    return None
+
+
+# ---------------------------------------------------------------------------
+# E1: emission sites
+# ---------------------------------------------------------------------------
+def _check_emissions(module: Module) -> list[Finding]:
+    registry = _registry()
+    findings: list[Finding] = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "_touch"):
+            continue
+        if not node.args:
+            continue  # bare version bump -> the catch-all "unknown" event
+        event = node.args[0]
+        if isinstance(event, ast.Constant) and event.value is None:
+            continue
+        if not isinstance(event, ast.Tuple) or len(event.elts) != 2:
+            findings.append(
+                Finding(
+                    RULE,
+                    module.path,
+                    node.lineno,
+                    "_touch argument must be a literal (kind, payload) "
+                    "tuple so the schema is statically checkable",
+                )
+            )
+            continue
+        kind_expr, payload = event.elts
+        kind, is_const = resolve_kind(module, kind_expr)
+        if kind is None:
+            findings.append(
+                Finding(
+                    RULE,
+                    module.path,
+                    kind_expr.lineno,
+                    "event kind is not a resolvable registry constant "
+                    f"(use repro.network.events.*): {ast.unparse(kind_expr)}",
+                )
+            )
+            continue
+        if not is_const:
+            findings.append(
+                Finding(
+                    RULE,
+                    module.path,
+                    kind_expr.lineno,
+                    f"bare string event kind {kind!r}: emit the "
+                    "repro.network.events constant instead",
+                )
+            )
+        if kind not in registry:
+            findings.append(
+                Finding(
+                    RULE,
+                    module.path,
+                    kind_expr.lineno,
+                    f"unregistered event kind {kind!r}",
+                )
+            )
+            continue
+        expected = set(registry[kind].operands)
+        if isinstance(payload, ast.Dict) and all(
+            isinstance(key, ast.Constant) and isinstance(key.value, str)
+            for key in payload.keys
+        ):
+            got = {key.value for key in payload.keys}
+            if got != expected:
+                missing = sorted(expected - got)
+                extra = sorted(got - expected)
+                detail = []
+                if missing:
+                    detail.append(f"missing operands {missing}")
+                if extra:
+                    detail.append(f"unregistered operands {extra}")
+                findings.append(
+                    Finding(
+                        RULE,
+                        module.path,
+                        payload.lineno,
+                        f"payload of {kind!r} does not match the "
+                        f"registered schema: {', '.join(detail)}",
+                    )
+                )
+        else:
+            findings.append(
+                Finding(
+                    RULE,
+                    module.path,
+                    payload.lineno,
+                    f"payload of {kind!r} must be a dict literal with "
+                    "string keys so the operand schema is checkable",
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# E2/E3: listener dispatch
+# ---------------------------------------------------------------------------
+def _is_stub(func: ast.FunctionDef) -> bool:
+    body = func.body
+    if body and isinstance(body[0], ast.Expr) and isinstance(
+        body[0].value, ast.Constant
+    ):
+        body = body[1:]
+    return all(
+        isinstance(stmt, ast.Expr)
+        and isinstance(stmt.value, ast.Constant)
+        and stmt.value.value is Ellipsis
+        for stmt in body
+    ) or not body
+
+
+def _has_catch_all(func: ast.FunctionDef) -> bool:
+    """True when some if/elif chain in the body ends in a plain else."""
+    for node in ast.walk(func):
+        if isinstance(node, ast.If):
+            tail = node
+            while tail.orelse and len(tail.orelse) == 1 and isinstance(
+                tail.orelse[0], ast.If
+            ):
+                tail = tail.orelse[0]
+            if tail.orelse:
+                return True
+    return False
+
+
+def _branch_kinds(
+    module: Module, kind_sets: dict[str, set[str]], test: ast.expr
+) -> set[str] | None:
+    """Kinds guarded by an ``if`` test comparing the ``kind`` argument."""
+    if not isinstance(test, ast.Compare) or len(test.ops) != 1:
+        return None
+    op = test.ops[0]
+    comparator = test.comparators[0]
+    if isinstance(op, ast.Eq):
+        kind, _ = resolve_kind(module, comparator)
+        return {kind} if kind is not None else None
+    if isinstance(op, ast.In):
+        elements = _set_elements(comparator)
+        if elements is not None:
+            kinds = set()
+            for element in elements:
+                kind, _ = resolve_kind(module, element)
+                if kind is not None:
+                    kinds.add(kind)
+            return kinds or None
+        if isinstance(comparator, ast.Name):
+            return kind_sets.get(comparator.id)
+    return None
+
+
+def _data_keys(body: list[ast.stmt]) -> list[tuple[int, str]]:
+    """Constant ``data["key"]`` subscripts in a branch body."""
+    keys: list[tuple[int, str]] = []
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Subscript)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "data"
+                and isinstance(node.slice, ast.Constant)
+                and isinstance(node.slice.value, str)
+            ):
+                keys.append((node.lineno, node.slice.value))
+    return keys
+
+
+def _check_listener(
+    module: Module, func: ast.FunctionDef, kind_sets: dict[str, set[str]]
+) -> list[Finding]:
+    registry = _registry()
+    events = load_events_registry()
+
+    findings: list[Finding] = []
+    mentioned: set[str] = set()
+
+    # every kind-constant reference anywhere in the body counts as
+    # "mentioned" — handling and explicit ignoring look the same here
+    for node in ast.walk(func):
+        if isinstance(node, (ast.Attribute, ast.Name)):
+            kind, is_const = resolve_kind(module, node)
+            if kind is not None and is_const:
+                mentioned.add(kind)
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            if node.value in registry:
+                findings.append(
+                    Finding(
+                        RULE,
+                        module.path,
+                        node.lineno,
+                        f"bare string event kind {node.value!r} in listener:"
+                        " dispatch on repro.network.events constants",
+                    )
+                )
+                mentioned.add(node.value)
+        elif isinstance(node, ast.Name):
+            pass
+    for name, kinds in kind_sets.items():
+        if any(
+            isinstance(n, ast.Name) and n.id == name
+            for n in ast.walk(func)
+        ):
+            mentioned.update(kinds)
+
+    missing = sorted(set(registry) - mentioned - {events.UNKNOWN})
+    for kind in missing:
+        findings.append(
+            Finding(
+                RULE,
+                module.path,
+                func.lineno,
+                f"listener neither handles nor explicitly ignores "
+                f"registered kind {kind!r}",
+            )
+        )
+    if events.UNKNOWN not in mentioned and not _has_catch_all(func):
+        findings.append(
+            Finding(
+                RULE,
+                module.path,
+                func.lineno,
+                "listener has no catch-all branch: unregistered kinds "
+                "(and 'unknown') would be silently dropped",
+            )
+        )
+
+    # E3: operand use inside kind-guarded branches
+    for node in ast.walk(func):
+        if not isinstance(node, ast.If):
+            continue
+        kinds = _branch_kinds(module, kind_sets, node.test)
+        if not kinds or any(kind not in registry for kind in kinds):
+            continue
+        allowed = set.intersection(
+            *(set(registry[kind].operands) for kind in kinds)
+        )
+        for lineno, key in _data_keys(node.body):
+            if key not in allowed:
+                findings.append(
+                    Finding(
+                        RULE,
+                        module.path,
+                        lineno,
+                        f"data[{key!r}] is not an operand of "
+                        f"{sorted(kinds)} (registered: {sorted(allowed)})",
+                    )
+                )
+    return findings
+
+
+def check(project: Project) -> list[Finding]:
+    findings: list[Finding] = []
+    for module in project.modules:
+        module_findings = _check_emissions(module)
+        kind_sets = _module_kind_sets(module)
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.FunctionDef)
+                and node.name == "notify_network_event"
+                and not _is_stub(node)
+            ):
+                module_findings.extend(
+                    _check_listener(module, node, kind_sets)
+                )
+        findings.extend(
+            f
+            for f in module_findings
+            if not module.allows(RULE, f.line)
+        )
+    return findings
