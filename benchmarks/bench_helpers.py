@@ -8,9 +8,11 @@ live in this uniquely named module; the conftest keeps only fixtures.
 
 from __future__ import annotations
 
+import json
 import os
+import time
 
-from repro.suite.registry import benchmark_names
+from repro.suite.registry import benchmark_names, configured_scale
 
 QUICK_SET = ["alu2", "c432", "c499", "k2", "s5378"]
 
@@ -25,3 +27,41 @@ def table1_names() -> list[str]:
     if quick_mode():
         return QUICK_SET
     return benchmark_names()
+
+
+# ----------------------------------------------------------------------
+# machine-readable results (REPRO_BENCH_JSON)
+# ----------------------------------------------------------------------
+
+#: bench name -> row name -> {metric: value}; flushed to the path in
+#: ``REPRO_BENCH_JSON`` when the benchmark session finishes.
+_RESULTS: dict[str, dict[str, dict]] = {}
+
+
+def record_result(bench: str, name: str, **values) -> None:
+    """Record one benchmark row (per-circuit timings, ratios, sizes).
+
+    Values must be JSON-serializable scalars; rows recorded twice keep
+    the last measurement.
+    """
+    _RESULTS.setdefault(bench, {})[name] = values
+
+
+def bench_results() -> dict[str, dict[str, dict]]:
+    """Everything recorded so far (the session hook reads this)."""
+    return _RESULTS
+
+
+def write_results(path: str) -> None:
+    """Write the recorded rows plus run metadata to *path* as JSON."""
+    report = {
+        "meta": {
+            "date": time.strftime("%Y-%m-%d"),
+            "scale": configured_scale(),
+            "quick": quick_mode(),
+        },
+        "benchmarks": _RESULTS,
+    }
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(report, stream, indent=2, sort_keys=True)
+        stream.write("\n")

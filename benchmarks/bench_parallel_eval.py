@@ -24,7 +24,11 @@ Checked properties:
   be under half the full-snapshot size (in practice ~100x smaller
   when the engine is idle between batches, and still several times
   smaller mid-optimization — ``tests/test_parallel_eval.py`` covers
-  the mutating case).
+  the mutating case);
+* **baseline transport** — full baselines ship their SoA buffers
+  through ``multiprocessing.shared_memory``; the pickled pipe payload
+  of an ``soa_full`` batch must come in below the pickled object
+  graph it replaced.
 
 ``REPRO_BENCH_SET=quick`` trims the circuit list for CI smoke runs.
 """
@@ -32,17 +36,19 @@ Checked properties:
 from __future__ import annotations
 
 import os
+import pickle
 import time
 
 import pytest
 
 from repro.library.cells import default_library
 from repro.parallel import EvalPool, best_phase_move
+from repro.parallel.snapshot import EvalSnapshotCodec
 from repro.rapids.engine import _gsg_gs_factory
 from repro.suite.flow import FlowConfig, prepare_benchmark
 from repro.timing.sta import TimingEngine
 
-from bench_helpers import QUICK_SET, quick_mode
+from bench_helpers import QUICK_SET, quick_mode, record_result
 
 def _usable_cpus() -> int:
     """CPUs this process may actually run on.
@@ -128,6 +134,16 @@ def test_sharded_evaluation_agrees_and_speeds_up(name, library):
         f"{serial_seconds:>10.3f}{sharded_seconds:>9.3f}{speedup:>8.2f}x"
     )
     _TIMES[name] = (serial_seconds, sharded_seconds, len(sites))
+    record_result(
+        "parallel_eval", name,
+        gates=len(network),
+        sites=len(sites),
+        moves=num_moves,
+        serial_seconds=round(serial_seconds, 4),
+        sharded_seconds=round(sharded_seconds, 4),
+        speedup=round(speedup, 3),
+        workers=WORKERS,
+    )
 
 
 def test_aggregate_speedup_floor():
@@ -173,9 +189,61 @@ def test_snapshot_payload_shrinkage():
         f"{stats.mean_full_bytes() / max(stats.mean_delta_bytes(), 1):.0f}x "
         f"smaller steady-state"
     )
+    record_result(
+        "parallel_eval", "snapshot_payloads",
+        full_batches=stats.full_batches,
+        delta_batches=stats.delta_batches,
+        mean_full_bytes=round(stats.mean_full_bytes(), 1),
+        mean_full_pipe_bytes=round(stats.mean_full_pipe_bytes(), 1),
+        mean_delta_bytes=round(stats.mean_delta_bytes(), 1),
+        stale_shards=stats.stale_shards,
+    )
     assert stats.delta_batches > 0, "no batch ever rode the delta path"
     assert stats.mean_delta_bytes() < 0.5 * stats.mean_full_bytes(), (
         f"deltas average {stats.mean_delta_bytes():.0f} B against "
         f"{stats.mean_full_bytes():.0f} B full snapshots — diffing is "
         f"not paying for itself"
     )
+
+
+def test_soa_baseline_beats_pickled_baseline(library):
+    """Shared-memory SoA baselines must undercut the pickled protocol.
+
+    Encodes one full baseline for a quick-set circuit and compares the
+    bytes that actually cross the executor pipe against the payload
+    the retired protocol would have shipped: the complete pickled
+    ``EvalState`` object graph."""
+    outcome = prepare_benchmark(bench_names()[0], FlowConfig(), library)
+    engine = TimingEngine(outcome.network, outcome.placement, library)
+    engine.analyze()
+    codec = EvalSnapshotCodec()
+    try:
+        payload = codec.encode(engine)
+        kind = pickle.loads(payload)[0]
+        if kind != "soa_full":
+            pytest.skip("shared-memory snapshots unavailable on this host")
+        pickled_reference = len(pickle.dumps(
+            ("full", codec.token, 1, engine.export_eval_state()),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        ))
+        pipe_bytes = codec.stats.full_pipe_bytes
+        shared_bytes = codec.stats.full_bytes - pipe_bytes
+        print(
+            f"\nsoa_full baseline: {pipe_bytes} B pipe + "
+            f"{shared_bytes} B shared memory vs "
+            f"{pickled_reference} B pickled object graph "
+            f"({pickled_reference / pipe_bytes:.1f}x pipe shrinkage)"
+        )
+        record_result(
+            "parallel_eval", "soa_baseline",
+            pipe_bytes=pipe_bytes,
+            shared_memory_bytes=shared_bytes,
+            pickled_reference_bytes=pickled_reference,
+            pipe_shrinkage=round(pickled_reference / pipe_bytes, 3),
+        )
+        assert pipe_bytes < pickled_reference, (
+            f"soa_full pipe payload ({pipe_bytes} B) is not smaller "
+            f"than the pickled baseline ({pickled_reference} B)"
+        )
+    finally:
+        codec.close()

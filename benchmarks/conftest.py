@@ -11,10 +11,21 @@ bug that used to break every test module).
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.library.cells import default_library
 from repro.suite.flow import FlowConfig, run_benchmark
+
+from bench_helpers import bench_results, write_results
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Flush recorded rows to ``REPRO_BENCH_JSON`` when set."""
+    path = os.environ.get("REPRO_BENCH_JSON")
+    if path and bench_results():
+        write_results(path)
 
 
 @pytest.fixture(scope="session")

@@ -19,7 +19,6 @@ instance in place — see :meth:`CompiledNetwork.patch_fanin`.
 
 from __future__ import annotations
 
-import weakref
 from dataclasses import dataclass, field
 
 from ...network.gatetype import GateType
@@ -187,21 +186,18 @@ def compile_network(network: Network) -> CompiledNetwork:
     )
 
 
-_cache: "weakref.WeakKeyDictionary[Network, CompiledNetwork]" = (
-    weakref.WeakKeyDictionary()
-)
-
-
 def get_compiled(network: Network) -> CompiledNetwork:
-    """Compiled form of *network*, cached per network object.
+    """Compiled form of *network*, served by the shared SoA kernel.
 
-    The cache is invalidated by the network's version counter, which
-    every mutation bumps (including untracked ones, via the catch-all
-    ``"unknown"`` event) — a hit is therefore always current.
+    One :class:`~repro.network.soa.SoAKernel` per network owns this
+    view: pin-rewiring and cell-binding mutations are absorbed as
+    in-place patches (``revision`` bumps, the object identity is
+    preserved), while structural mutations mark the kernel stale so
+    this call recompiles.  Either way the returned arrays are always
+    consistent with the live network — engines that want isolation
+    from later patches :meth:`~CompiledNetwork.clone` on first write,
+    exactly as before.
     """
-    cached = _cache.get(network)
-    if cached is not None and cached.version == network.version:
-        return cached
-    compiled = compile_network(network)
-    _cache[network] = compiled
-    return compiled
+    from ...network.soa import get_soa
+
+    return get_soa(network).sync()

@@ -138,6 +138,10 @@ class EvalPool:
         self._executor = None
         if executor is not None:
             executor.shutdown(wait=True, cancel_futures=True)
+        # release the parent-held shared-memory baseline block; the
+        # codec's stats stay readable (benchmarks assert on them after
+        # the pool closes)
+        self.snapshot.close()
 
     def __enter__(self) -> "EvalPool":
         return self

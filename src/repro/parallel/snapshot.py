@@ -7,8 +7,8 @@ small slice of the analysis between exports.  This module ships the
 difference instead:
 
 * the first batch of a session sends a **baseline** — the complete
-  pickled state tagged with a session token and baseline id; worker
-  processes cache it module-globally (one slot per pool session);
+  state tagged with a session token and baseline id; worker processes
+  cache it in a bounded per-session store (one slot per pool session);
 * subsequent batches send a **delta**: everything that differs from
   the *baseline* (gate signatures, IO lists, placement locations,
   arrival/required/level entries, rebuilt star models, the scalar
@@ -28,6 +28,21 @@ Slacks are never shipped in deltas: the worker refolds them from the
 delta's required pairs, arrivals and target with the exact expression
 :meth:`TimingEngine._fold_slacks` uses, so the reconstructed engine is
 bit-identical to one built from a full snapshot.
+
+Baselines themselves no longer travel as pickled object graphs.  When
+numpy and ``multiprocessing.shared_memory`` are available the codec
+packs the state into flat arrays — the name table, the SoA kernel's
+fanin CSR, gate type/cell id tables, placement coordinates, the
+arrival/required/level dictionaries as (net-index, value) columns and
+the star models as a sink CSR — into one shared-memory block, and the
+pipe carries only a small pickled header (block name, segment table,
+library, scalars).  Workers attach the block, copy the arrays out,
+close it, and rebuild an ``EvalState`` that is bit-identical to the
+pickled one: dictionary iteration orders are preserved via explicit
+key columns, gates are re-inserted in the network's insertion order,
+and slacks are refolded exactly as for deltas.  Any reference the
+packer cannot express as an index (never in practice) falls back to
+the pickled-full payload, so the protocol degrades instead of failing.
 """
 
 from __future__ import annotations
@@ -35,12 +50,25 @@ from __future__ import annotations
 import os
 import pickle
 import weakref
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from ..network.netlist import Gate
+from ..network.netlist import Gate, Network, Pin
+from ..network.soa import get_soa
 from ..place.placement import Placement
+from ..timing.netmodel import StarNet, StarSink
 from ..timing.sta import EvalState
+
+try:  # pragma: no cover - exercised via the numpy-present suite
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None
+
+try:  # pragma: no cover - stdlib; absent only on exotic builds
+    from multiprocessing import shared_memory
+except ImportError:  # pragma: no cover
+    shared_memory = None
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from ..timing.sta import TimingEngine
@@ -87,17 +115,30 @@ class EvalDelta:
 
 @dataclass
 class SnapshotStats:
-    """Payload accounting for benchmarks and tests."""
+    """Payload accounting for benchmarks and tests.
+
+    ``full_bytes`` counts everything a full baseline ships — pickled
+    pipe payload *plus* shared-memory data — so size comparisons
+    against deltas stay honest; ``full_pipe_bytes`` isolates what
+    actually crosses the executor pipe per full batch.
+    """
 
     full_batches: int = 0
     delta_batches: int = 0
     full_bytes: int = 0
+    full_pipe_bytes: int = 0
     delta_bytes: int = 0
     stale_shards: int = 0
     changes_shipped: int = 0
 
     def mean_full_bytes(self) -> float:
         return self.full_bytes / self.full_batches if self.full_batches else 0.0
+
+    def mean_full_pipe_bytes(self) -> float:
+        return (
+            self.full_pipe_bytes / self.full_batches
+            if self.full_batches else 0.0
+        )
 
     def mean_delta_bytes(self) -> float:
         return (
@@ -137,6 +178,9 @@ class EvalSnapshotCodec:
         self._refs: _BaselineRefs | None = None
         self._engine_ref: "weakref.ref[TimingEngine] | None" = None
         self._last_full_bytes = 0
+        #: parent-held shared-memory block of the current baseline;
+        #: released when the next baseline ships or the codec closes
+        self._shm: object | None = None
 
     def encode(self, engine: "TimingEngine") -> bytes:
         """Payload for this batch: a delta when possible, else a full."""
@@ -177,6 +221,24 @@ class EvalSnapshotCodec:
         self._baseline_id += 1
         self._refs = _capture(state)
         self._engine_ref = weakref.ref(engine)
+        packed = _pack_soa(state)
+        if packed is not None:
+            block, body, data_bytes = packed
+            payload = pickle.dumps(
+                ("soa_full", self.token, self._baseline_id, body),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+            # the previous baseline block is dead weight by now: the
+            # pool resolves every in-flight future before the next
+            # batch encodes, so no worker can still be attaching to it
+            self._release_shared()
+            self._shm = block
+            total = len(payload) + data_bytes
+            self._last_full_bytes = total
+            self.stats.full_batches += 1
+            self.stats.full_bytes += total
+            self.stats.full_pipe_bytes += len(payload)
+            return payload
         payload = pickle.dumps(
             ("full", self.token, self._baseline_id, state),
             protocol=pickle.HIGHEST_PROTOCOL,
@@ -184,7 +246,33 @@ class EvalSnapshotCodec:
         self._last_full_bytes = len(payload)
         self.stats.full_batches += 1
         self.stats.full_bytes += len(payload)
+        self.stats.full_pipe_bytes += len(payload)
         return payload
+
+    def close(self) -> None:
+        """Release the parent-held shared-memory baseline (idempotent).
+
+        Stats stay readable after close — benchmarks assert on them
+        once the pool has shut down.
+        """
+        self._release_shared()
+
+    def _release_shared(self) -> None:
+        block = self._shm
+        self._shm = None
+        if block is None:
+            return
+        try:
+            block.close()
+            block.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover
+            pass
+
+    def __del__(self) -> None:  # pragma: no cover - best-effort cleanup
+        try:
+            self._release_shared()
+        except Exception:
+            pass
 
     def _diff(self, state: EvalState) -> EvalDelta:
         refs = self._refs
@@ -285,36 +373,433 @@ _MISSING = _Missing()
 
 
 # ----------------------------------------------------------------------
+# shared-memory packing (parent side)
+# ----------------------------------------------------------------------
+
+def _pack_soa(state: EvalState):
+    """Pack *state* into flat arrays inside one shared-memory block.
+
+    Returns ``(block, body, data_bytes)`` where ``body`` is the small
+    picklable pipe header ``(block name, segment table, header dict)``,
+    or ``None`` when the state cannot be expressed as indices into the
+    SoA name table (callers then ship the pickled object graph).
+    """
+    if np is None or shared_memory is None:
+        return None
+    network = state.network
+    compiled = get_soa(network).sync()
+    arrays = get_soa(network).arrays()
+    if arrays is None:
+        return None
+    net_index = compiled.net_index
+    num_inputs = compiled.num_inputs
+    num_gates = compiled.num_gates
+    names = list(compiled.inputs) + list(compiled.gate_names)
+    if any("\n" in name for name in names):
+        return None
+    # gate type / cell bindings as ids into small header tables
+    gates = network._gates
+    if len(gates) != num_gates:
+        return None
+    gtype_table: list = []
+    gtype_of: dict = {}
+    cell_table: list = []
+    cell_of: dict = {}
+    gtype_ids = np.empty(num_gates, dtype=np.int32)
+    cell_ids = np.empty(num_gates, dtype=np.int32)
+    for position, gate_name in enumerate(compiled.gate_names):
+        gate = gates.get(gate_name)
+        if gate is None:
+            return None
+        slot = gtype_of.get(gate.gtype)
+        if slot is None:
+            slot = len(gtype_table)
+            gtype_of[gate.gtype] = slot
+            gtype_table.append(gate.gtype)
+        gtype_ids[position] = slot
+        slot = cell_of.get(gate.cell)
+        if slot is None:
+            slot = len(cell_table)
+            cell_of[gate.cell] = slot
+            cell_table.append(gate.cell)
+        cell_ids[position] = slot
+    # the network dict's insertion order, as topological positions —
+    # the worker re-inserts gates in this order so every name-keyed
+    # iteration downstream matches the parent exactly
+    gate_order = np.empty(num_gates, dtype=np.int64)
+    for rank, gate_name in enumerate(gates):
+        index = net_index.get(gate_name)
+        if index is None or index < num_inputs:
+            return None
+        gate_order[rank] = index - num_inputs
+    outputs = np.empty(len(network.outputs), dtype=np.int64)
+    for slot, net in enumerate(network.outputs):
+        index = net_index.get(net)
+        if index is None:
+            return None
+        outputs[slot] = index
+    # placement: coordinates for every entry in dict order; keys that
+    # are not nets (stale entries) ride in the header by name
+    placement = state.placement
+    loc_extras: list[str] = []
+    loc_keys = np.empty(len(placement.locations), dtype=np.int64)
+    loc_xy = np.empty((len(placement.locations), 2), dtype=np.float64)
+    for slot, (key, point) in enumerate(placement.locations.items()):
+        index = net_index.get(key)
+        if index is None:
+            loc_extras.append(key)
+            loc_keys[slot] = -1
+        else:
+            loc_keys[slot] = index
+        loc_xy[slot, 0] = point[0]
+        loc_xy[slot, 1] = point[1]
+    arrival = _pair_columns(state.arrival, net_index)
+    req0 = _pair_columns(state.req0, net_index)
+    level_keys = _index_keys(state.levels, net_index)
+    if arrival is None or req0 is None or level_keys is None:
+        return None
+    level_vals = np.fromiter(
+        state.levels.values(), dtype=np.int64, count=len(state.levels)
+    )
+    # star models: per-star metadata plus one sink CSR
+    stars = state.stars
+    star_keys = _index_keys(stars, net_index)
+    if star_keys is None:
+        return None
+    star_meta = np.empty((len(stars), 5), dtype=np.float64)
+    sink_counts = np.empty(len(stars), dtype=np.int64)
+    sink_gate: list[int] = []
+    sink_pin: list[int] = []
+    sink_vals: list[tuple[float, float, float, float]] = []
+    for slot, (net, star) in enumerate(stars.items()):
+        if star.net != net:
+            return None
+        star_meta[slot, 0] = star.source[0]
+        star_meta[slot, 1] = star.source[1]
+        star_meta[slot, 2] = star.center[0]
+        star_meta[slot, 3] = star.center[1]
+        star_meta[slot, 4] = star.total_cap
+        sink_counts[slot] = len(star.sinks)
+        for sink in star.sinks:
+            if sink.pin is None:
+                sink_gate.append(-1)
+                sink_pin.append(0)
+            else:
+                index = net_index.get(sink.pin.gate)
+                if index is None:
+                    return None
+                sink_gate.append(index)
+                sink_pin.append(sink.pin.index)
+            sink_vals.append(
+                (sink.location[0], sink.location[1],
+                 sink.pin_cap, sink.wire_delay)
+            )
+    blocks = [
+        ("names", np.frombuffer(
+            "\n".join(names).encode("utf-8"), dtype=np.uint8
+        )),
+        ("fanin_offset", arrays["fanin_offset"]),
+        ("fanin_flat", arrays["fanin_flat"]),
+        ("gtype_ids", gtype_ids),
+        ("cell_ids", cell_ids),
+        ("gate_order", gate_order),
+        ("outputs", outputs),
+        ("loc_keys", loc_keys),
+        ("loc_xy", loc_xy),
+        ("arrival_keys", arrival[0]),
+        ("arrival_vals", arrival[1]),
+        ("req0_keys", req0[0]),
+        ("req0_vals", req0[1]),
+        ("level_keys", level_keys),
+        ("level_vals", level_vals),
+        ("star_keys", star_keys),
+        ("star_meta", star_meta),
+        ("sink_counts", sink_counts),
+        ("sink_gate", np.asarray(sink_gate, dtype=np.int64)),
+        ("sink_pin", np.asarray(sink_pin, dtype=np.int64)),
+        ("sink_vals", np.asarray(
+            sink_vals, dtype=np.float64
+        ).reshape(len(sink_vals), 4)),
+    ]
+    header = {
+        "name": network.name,
+        "version": state.version,
+        "num_inputs": num_inputs,
+        "library": state.library,
+        "period": state.period,
+        "po_pad_cap": state.po_pad_cap,
+        "max_delay": state.max_delay,
+        "die": (placement.die_width, placement.die_height),
+        "input_pads": dict(placement.input_pads),
+        "output_pads": dict(placement.output_pads),
+        "loc_extras": loc_extras,
+        "gtype_table": gtype_table,
+        "cell_table": cell_table,
+    }
+    block, table, data_bytes = _pack_shared(blocks)
+    return block, (block.name, table, header), data_bytes
+
+
+def _pair_columns(mapping: dict, net_index: dict):
+    """(net-index keys, (n, 2) float values) columns of *mapping*."""
+    keys = _index_keys(mapping, net_index)
+    if keys is None:
+        return None
+    vals = np.empty((len(mapping), 2), dtype=np.float64)
+    for slot, pair in enumerate(mapping.values()):
+        vals[slot, 0] = pair[0]
+        vals[slot, 1] = pair[1]
+    return keys, vals
+
+
+def _index_keys(mapping: dict, net_index: dict):
+    """*mapping*'s keys as net indices in dict order, or ``None``."""
+    keys = np.empty(len(mapping), dtype=np.int64)
+    for slot, name in enumerate(mapping):
+        index = net_index.get(name)
+        if index is None:
+            return None
+        keys[slot] = index
+    return keys
+
+
+def _pack_shared(blocks: list):
+    """Copy named arrays into one shared-memory block.
+
+    Returns ``(block, table, data_bytes)`` where ``table`` rows are
+    ``(name, dtype, shape, offset)`` — everything :func:`_unpack_shared`
+    needs to view the arrays back out of the buffer.
+    """
+    total = sum(int(array.nbytes) for _, array in blocks)
+    block = shared_memory.SharedMemory(create=True, size=max(1, total))
+    table = []
+    offset = 0
+    for name, array in blocks:
+        view = np.ndarray(
+            array.shape, dtype=array.dtype, buffer=block.buf, offset=offset
+        )
+        view[...] = array
+        table.append((name, array.dtype.str, array.shape, offset))
+        offset += int(array.nbytes)
+    return block, table, total
+
+
+# ----------------------------------------------------------------------
 # worker side
 # ----------------------------------------------------------------------
 
-#: Baseline cache of this worker process: session token -> (id, state).
-#: One slot per session keeps memory bounded at one snapshot per pool.
-_BASELINES: dict[str, tuple[int, EvalState]] = {}
+class SnapshotSessionStore:
+    """Per-process baseline cache, scoped and bounded by pool session.
+
+    One slot per session token — a rebased baseline of the *same*
+    session overwrites its predecessor — with LRU eviction across
+    sessions, so a long-lived worker process serving many successive
+    pools holds at most *capacity* snapshots instead of growing an
+    unbounded module dict.
+    """
+
+    def __init__(self, capacity: int = 8) -> None:
+        self._capacity = capacity
+        self._sessions: "OrderedDict[str, tuple[int, EvalState]]" = (
+            OrderedDict()
+        )
+
+    def put(
+        self, token: str, baseline_id: int, state: EvalState
+    ) -> None:
+        sessions = self._sessions
+        sessions[token] = (baseline_id, state)
+        sessions.move_to_end(token)
+        while len(sessions) > self._capacity:
+            sessions.popitem(last=False)
+
+    def get(self, token: str) -> "tuple[int, EvalState] | None":
+        return self._sessions.get(token)
+
+    def clear(self) -> None:
+        self._sessions.clear()
+
+
+#: Baseline cache of this worker process, keyed by pool session token.
+_SESSIONS = SnapshotSessionStore()
 
 
 def decode(payload: bytes) -> EvalState | None:
     """Rebuild the batch's :class:`EvalState`, or ``None`` when stale.
 
     ``None`` means this process lacks the referenced baseline (it
-    joined the pool after the full snapshot shipped, or the pool
-    rebased while a task was queued) — the caller must fall back.
+    joined the pool after the full snapshot shipped, the pool rebased
+    while a task was queued, or the shared-memory block of a ``soa``
+    baseline was already retired) — the caller must fall back.
     """
     kind, token, baseline_id, body = pickle.loads(payload)
-    if kind == "full":
-        # the delta protocol's whole point is this worker-side cache;
-        # it keys on the pool session token, so session scoping
-        # (ROADMAP item 3) only has to narrow the key, not the design
-        _BASELINES[token] = (baseline_id, body)  # lint: allow(worker-global)
+    if kind == "soa_full":
+        state = _decode_soa_full(body)
+        if state is None:
+            return None
+        _SESSIONS.put(token, baseline_id, state)
         # hand out a clone, never the cached object: an engine built
         # from the return value may legally commit moves through it
         # (from_eval_state advertises that), and a mutated baseline
         # would silently corrupt every later delta reconstruction
+        return _clone_state(state)
+    if kind == "full":
+        _SESSIONS.put(token, baseline_id, body)
         return _clone_state(body)
-    cached = _BASELINES.get(token)
+    cached = _SESSIONS.get(token)
     if cached is None or cached[0] != baseline_id:
         return None
     return apply_delta(cached[1], body)
+
+
+def _decode_soa_full(body) -> EvalState | None:
+    """Rebuild an ``EvalState`` from a shared-memory ``soa_full`` body.
+
+    Attaches the block, copies every segment out, closes it (the
+    parent keeps the block alive until the next baseline ships) and
+    reconstructs the object graph in the exact iteration orders the
+    parent packed, so the result is bit-identical to unpickling the
+    equivalent ``full`` payload.  ``None`` when the block is already
+    gone — the caller reports the shard stale.
+    """
+    if np is None or shared_memory is None:  # pragma: no cover
+        return None
+    block_name, table, header = body
+    try:
+        # attach-time tracker registration is harmless here: fork and
+        # spawn children share the parent's resource-tracker process,
+        # so this re-add of an already-tracked name is a set no-op and
+        # the parent's eventual unlink() is the single unregister
+        block = shared_memory.SharedMemory(name=block_name)
+    except (FileNotFoundError, OSError):
+        return None
+    try:
+        arrays = _unpack_shared(block, table)
+    finally:
+        block.close()
+    blob = arrays["names"].tobytes()
+    names = blob.decode("utf-8").split("\n") if blob else []
+    num_inputs = header["num_inputs"]
+    network = Network(header["name"])
+    network.inputs = list(names[:num_inputs])
+    network._input_set = set(network.inputs)
+    offsets = arrays["fanin_offset"].tolist()
+    fanin_names = [names[index] for index in arrays["fanin_flat"].tolist()]
+    gtype_table = header["gtype_table"]
+    cell_table = header["cell_table"]
+    gtype_ids = arrays["gtype_ids"].tolist()
+    cell_ids = arrays["cell_ids"].tolist()
+    for position in arrays["gate_order"].tolist():
+        name = names[num_inputs + position]
+        network._gates[name] = Gate(
+            name=name,
+            gtype=gtype_table[gtype_ids[position]],
+            fanins=fanin_names[offsets[position]:offsets[position + 1]],
+            cell=cell_table[cell_ids[position]],
+        )
+    network.outputs = [names[index] for index in arrays["outputs"].tolist()]
+    network.version = header["version"]
+    extras = iter(header["loc_extras"])
+    locations: dict[str, tuple[float, float]] = {}
+    for index, point in zip(
+        arrays["loc_keys"].tolist(), arrays["loc_xy"].tolist()
+    ):
+        key = names[index] if index >= 0 else next(extras)
+        locations[key] = (point[0], point[1])
+    die_width, die_height = header["die"]
+    placement = Placement(
+        die_width=die_width,
+        die_height=die_height,
+        locations=locations,
+        input_pads=header["input_pads"],
+        output_pads=header["output_pads"],
+    )
+    arrival = _paired_dict(
+        names, arrays["arrival_keys"], arrays["arrival_vals"]
+    )
+    req0 = _paired_dict(names, arrays["req0_keys"], arrays["req0_vals"])
+    levels = {
+        names[index]: level
+        for index, level in zip(
+            arrays["level_keys"].tolist(), arrays["level_vals"].tolist()
+        )
+    }
+    stars: dict[str, StarNet] = {}
+    meta_rows = arrays["star_meta"].tolist()
+    counts = arrays["sink_counts"].tolist()
+    sink_gate = arrays["sink_gate"].tolist()
+    sink_pin = arrays["sink_pin"].tolist()
+    sink_vals = arrays["sink_vals"].tolist()
+    cursor = 0
+    for slot, index in enumerate(arrays["star_keys"].tolist()):
+        sinks = []
+        for edge in range(cursor, cursor + counts[slot]):
+            gate_index = sink_gate[edge]
+            pin = (
+                None if gate_index < 0
+                else Pin(names[gate_index], sink_pin[edge])
+            )
+            values = sink_vals[edge]
+            sinks.append(StarSink(
+                pin=pin,
+                location=(values[0], values[1]),
+                pin_cap=values[2],
+                wire_delay=values[3],
+            ))
+        cursor += counts[slot]
+        net = names[index]
+        meta = meta_rows[slot]
+        stars[net] = StarNet(
+            net=net,
+            source=(meta[0], meta[1]),
+            center=(meta[2], meta[3]),
+            total_cap=meta[4],
+            sinks=tuple(sinks),
+        )
+    target = (
+        header["period"] if header["period"] is not None
+        else header["max_delay"]
+    )
+    # refold slacks exactly as TimingEngine._fold_slacks does (see
+    # apply_delta): same expression, same req0 iteration order
+    slack = {}
+    for net, (req_rise, req_fall) in req0.items():
+        rise, fall = arrival.get(net, (0.0, 0.0))
+        slack[net] = min(req_rise - rise, req_fall - fall) + target
+    return EvalState(
+        network=network,
+        placement=placement,
+        library=header["library"],
+        period=header["period"],
+        po_pad_cap=header["po_pad_cap"],
+        arrival=arrival,
+        slack=slack,
+        stars=stars,
+        levels=levels,
+        req0=req0,
+        max_delay=header["max_delay"],
+        version=header["version"],
+    )
+
+
+def _paired_dict(names: list, keys, vals) -> dict:
+    return {
+        names[index]: (pair[0], pair[1])
+        for index, pair in zip(keys.tolist(), vals.tolist())
+    }
+
+
+def _unpack_shared(block, table: list) -> dict:
+    """Copy every packed segment out of an attached block."""
+    arrays = {}
+    for name, dtype, shape, offset in table:
+        view = np.ndarray(
+            shape, dtype=np.dtype(dtype), buffer=block.buf, offset=offset
+        )
+        arrays[name] = np.array(view, copy=True)
+    return arrays
+
+
 
 
 def apply_delta(baseline: EvalState, delta: EvalDelta) -> EvalState:
@@ -427,4 +912,4 @@ def _merged(base: dict, upsert: dict, removed: list) -> dict:
 
 def clear_worker_cache() -> None:
     """Drop every cached baseline (tests and long-lived processes)."""
-    _BASELINES.clear()
+    _SESSIONS.clear()

@@ -40,6 +40,7 @@ from __future__ import annotations
 from ..contracts import projection_only
 from ..network import events
 from ..network.netlist import Network, Pin
+from ..network.soa import get_soa, ragged_indices
 from .placement import Placement, output_pad_points
 
 try:  # numpy accelerates batch scoring; the scalar path needs nothing
@@ -165,9 +166,114 @@ class WirelengthEngine:
         self._ext_np = None
         self._hpwl_np = None
         self._needs_rebuild = False
-        for index in range(len(names)):
-            self._recompute_net(index)
+        if not self._rebuild_vector():
+            for index in range(len(names)):
+                self._recompute_net(index)
         self.rebuilds += 1
+
+    def _rebuild_vector(self) -> bool:
+        """All nets' extrema rows + HPWL in one segmented numpy pass.
+
+        Sink terminals are gathered through the shared SoA kernel's
+        consumer CSR and placement table instead of walking Pin sets
+        per net; the second-extrema rows come from segmented
+        min/max/count reductions — selections and equality counts only,
+        so every row and HPWL is bit-identical to the per-net
+        :meth:`_recompute_net` scalar walk.  Returns ``False`` (caller
+        falls back to that walk) when numpy or a fully mapped kernel
+        view is unavailable.
+        """
+        if _np is None:
+            return False
+        kernel = get_soa(self.network)
+        compiled = kernel.sync()
+        arrays = kernel.arrays()
+        if arrays is None:
+            return False
+        table = kernel.location_table(self.placement)
+        if table is None:
+            return False
+        names = self._names
+        net_index = compiled.net_index
+        kernel_ids = _np.empty(len(names), dtype=_np.int64)
+        for index, net in enumerate(names):
+            kernel_id = net_index.get(net)
+            if kernel_id is None:
+                return False
+            kernel_ids[index] = kernel_id
+        # terminal points per net: the fixed points (driver + pads)
+        # first, then every sink pin's gate location from the CSR
+        fixed_counts = _np.array(
+            [len(points) for points in self._fixed], dtype=_np.int64
+        )
+        sink_counts = arrays["consumer_counts"][kernel_ids]
+        edges, _ = ragged_indices(
+            arrays["consumer_offset"][kernel_ids], sink_counts
+        )
+        sink_points = table[arrays["consumer_gate"][edges]]
+        counts = fixed_counts + sink_counts
+        total = int(counts.sum())
+        points = _np.empty((total, 2))
+        seg_starts = _np.concatenate(
+            ([0], _np.cumsum(counts)[:-1])
+        ).astype(_np.int64)
+        fixed_slots, _ = ragged_indices(seg_starts, fixed_counts)
+        flat_fixed = [
+            point for net_points in self._fixed for point in net_points
+        ]
+        points[fixed_slots] = _np.asarray(flat_fixed).reshape(-1, 2)
+        sink_slots, _ = ragged_indices(
+            seg_starts + fixed_counts, sink_counts
+        )
+        points[sink_slots] = sink_points
+        rows = _np.empty((len(names), 12))
+        for axis in (0, 1):
+            values = points[:, axis]
+            min1 = _np.minimum.reduceat(values, seg_starts)
+            max1 = _np.maximum.reduceat(values, seg_starts)
+            min1_rep = _np.repeat(min1, counts)
+            max1_rep = _np.repeat(max1, counts)
+            cnt_min = _np.add.reduceat(
+                (values == min1_rep).astype(_np.float64), seg_starts
+            )
+            cnt_max = _np.add.reduceat(
+                (values == max1_rep).astype(_np.float64), seg_starts
+            )
+            INF = float("inf")
+            strict_min2 = _np.minimum.reduceat(
+                _np.where(values == min1_rep, INF, values), seg_starts
+            )
+            strict_max2 = _np.maximum.reduceat(
+                _np.where(values == max1_rep, -INF, values), seg_starts
+            )
+            # one unique extremum and >= 2 points: the strict second;
+            # otherwise (duplicated extremum, single point) the extremum
+            min2 = _np.where(
+                (cnt_min == 1.0) & _np.isfinite(strict_min2),
+                strict_min2, min1,
+            )
+            max2 = _np.where(
+                (cnt_max == 1.0) & _np.isfinite(strict_max2),
+                strict_max2, max1,
+            )
+            base = axis * 6
+            rows[:, base + 0] = min1
+            rows[:, base + 1] = min2
+            rows[:, base + 2] = cnt_min
+            rows[:, base + 3] = max1
+            rows[:, base + 4] = max2
+            rows[:, base + 5] = cnt_max
+        hpwl = _np.where(
+            counts >= 2,
+            (rows[:, 3] - rows[:, 0]) + (rows[:, 9] - rows[:, 6]),
+            0.0,
+        )
+        self._ext = rows.tolist()
+        self._hpwl = hpwl.tolist()
+        self._ext_np = rows
+        self._hpwl_np = hpwl
+        self.net_updates += len(names)
+        return True
 
     def _recompute_net(self, index: int) -> None:
         """Exact extrema + HPWL of one net from its terminal list."""

@@ -401,7 +401,7 @@ def run_rapids(
     library: Library,
     mode: str = "gsg_gs",
     max_rounds: int = 12,
-    batch_limit: int = 64,
+    batch_limit: "int | str" = 64,
     check_equivalence: bool = False,
     collect_log: bool = False,
     incremental: bool = True,
@@ -421,6 +421,9 @@ def run_rapids(
     resolves per sweep shape, see ``repro.logic.simcore.backends``).
     *workers* > 1 shards candidate-gain evaluation across processes
     with a serial-identical trajectory (see :mod:`repro.parallel`).
+    *batch_limit* is the per-batch commit cap, or ``"auto"`` for the
+    adaptive policy (:class:`repro.sizing.coudert.BatchPolicy`) that
+    widens batches while each one dirties most of the network.
     *wl_passes* > 0 appends that many Section-5 wirelength-rewiring
     passes after timing optimization (placement still untouched);
     *wl_batched* selects the vectorized conflict-free path over the

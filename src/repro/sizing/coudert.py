@@ -50,6 +50,54 @@ from ..place.placement import Placement
 from ..timing.sta import Gains, TimingEngine
 
 
+#: Adaptive commit-batch bounds (``batch_limit="auto"``).
+AUTO_BATCH_START = 64
+AUTO_BATCH_MAX = 256
+AUTO_GROW_FRACTION = 0.5
+AUTO_SHRINK_FRACTION = 0.1
+
+
+@dataclass
+class BatchPolicy:
+    """Per-run commit-batch sizing, optionally adaptive.
+
+    With a fixed integer limit this is inert.  In ``"auto"`` mode the
+    limit reacts to the previous batch's measured *dirtied fraction*
+    (committed footprint union over net count): when one batch dirties
+    most of the network, the post-batch timing update costs close to a
+    full recompute no matter how many moves rode in it, so doubling the
+    batch amortizes that fixed cost; when batches dirty little, the
+    limit decays back toward the default so timing stays fresh between
+    commits.  Both inputs are deterministic functions of the move
+    trajectory, so an ``"auto"`` run is reproducible bit-for-bit (it
+    just is not move-for-move identical to a fixed-64 run).
+    """
+
+    limit: int
+    adaptive: bool = False
+
+    def observe(self, touched: int, nets: int) -> None:
+        """Feed one committed batch's footprint-union size back in."""
+        if not self.adaptive or nets <= 0:
+            return
+        fraction = touched / nets
+        if fraction > AUTO_GROW_FRACTION:
+            self.limit = min(AUTO_BATCH_MAX, self.limit * 2)
+        elif fraction < AUTO_SHRINK_FRACTION:
+            self.limit = max(AUTO_BATCH_START, self.limit // 2)
+
+
+def resolve_batch_policy(batch_limit: "int | str") -> BatchPolicy:
+    """Policy for a ``batch_limit`` argument (an int or ``"auto"``)."""
+    if batch_limit == "auto":
+        return BatchPolicy(limit=AUTO_BATCH_START, adaptive=True)
+    if isinstance(batch_limit, bool) or not isinstance(batch_limit, int):
+        raise ValueError(
+            f"batch_limit must be an int or 'auto', got {batch_limit!r}"
+        )
+    return BatchPolicy(limit=batch_limit)
+
+
 class Move(Protocol):
     """One alternative implementation of a site."""
 
@@ -130,7 +178,7 @@ def optimize(
     site_factory: SiteFactory,
     mode: str = "custom",
     max_rounds: int = 12,
-    batch_limit: int = 64,
+    batch_limit: "int | str" = 64,
     epsilon: float = 1e-9,
     collect_log: bool = False,
     incremental: bool = True,
@@ -151,6 +199,11 @@ def optimize(
     is bit-identical to the serial run for every worker count.  An
     externally managed *eval_pool* overrides *workers* (callers that
     amortize one pool over several ``optimize`` runs).
+
+    *batch_limit* caps moves per committed batch; the string ``"auto"``
+    opts into the adaptive :class:`BatchPolicy`, which grows the cap
+    (up to ``AUTO_BATCH_MAX``) while batches dirty most of the network
+    and decays it back otherwise.
     """
     pool = eval_pool
     own_pool = False
@@ -175,7 +228,7 @@ def _optimize(
     site_factory: SiteFactory,
     mode: str,
     max_rounds: int,
-    batch_limit: int,
+    batch_limit: "int | str",
     epsilon: float,
     collect_log: bool,
     incremental: bool,
@@ -183,6 +236,7 @@ def _optimize(
 ) -> OptimizeResult:
     from ..synth.mapper import network_area
 
+    policy = resolve_batch_policy(batch_limit)
     start = time.perf_counter()
     engine = TimingEngine(network, placement, library)
     engine.analyze()
@@ -202,7 +256,7 @@ def _optimize(
         result.rounds = round_index + 1
         applied_min = _phase(
             network, placement, library, engine, site_factory,
-            metric="min", batch_limit=batch_limit, epsilon=epsilon,
+            metric="min", policy=policy, epsilon=epsilon,
             result=result, collect_log=collect_log, pool=pool,
         )
         engine = _refreshed(engine, incremental)
@@ -211,7 +265,7 @@ def _optimize(
             best_snapshot = _snapshot(network, placement)
         applied_sum = _phase(
             network, placement, library, engine, site_factory,
-            metric="sum", batch_limit=batch_limit, epsilon=epsilon,
+            metric="sum", policy=policy, epsilon=epsilon,
             result=result, collect_log=collect_log, pool=pool,
         )
         engine = _refreshed(engine, incremental)
@@ -333,7 +387,7 @@ def _phase(
     engine: TimingEngine,
     site_factory: SiteFactory,
     metric: str,
-    batch_limit: int,
+    policy: BatchPolicy,
     epsilon: float,
     result: OptimizeResult,
     collect_log: bool,
@@ -367,6 +421,7 @@ def _phase(
     candidates.sort(key=lambda item: (-item[0], item[1], item[2]))
     touched: set[str] = set()
     applied = 0
+    batch_limit = policy.limit
     for score, _area, _order, move in candidates:
         if applied >= batch_limit:
             break
@@ -381,6 +436,8 @@ def _phase(
             result.move_log.append(
                 f"{metric}:{move.describe()} (score {score:+.4f})"
             )
+    if applied:
+        policy.observe(len(touched), len(network.inputs) + len(network))
     return applied
 
 

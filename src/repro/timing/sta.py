@@ -50,6 +50,7 @@ from ..network.gatetype import CONST_TYPES, GateType, XOR_TYPES, is_inverted
 from ..contracts import projection_only
 from ..network import events
 from ..network.netlist import Network, Pin
+from ..network.soa import ragged_indices
 from ..place.placement import Placement
 from ..symmetry.swap import PinSwap
 from .netmodel import (
@@ -68,6 +69,56 @@ __deterministic__ = True
 _NEGATIVE_UNATE = frozenset(
     {GateType.INV, GateType.NAND, GateType.NOR}
 )
+
+#: Minimum incremental-worklist size before a pass assembles the numpy
+#: arrays for the masked vector sweep; smaller frontiers stay on the
+#: scalar worklist, whose constant factors win there.  Both paths are
+#: bit-identical, so the threshold affects speed only.
+VECTOR_MIN_SEEDS = 16
+#: Work-unit cost model for :attr:`TimingStats.work_units`: one
+#: vectorized lane evaluation against one scalar dict-walk evaluation,
+#: and the per-net array-assembly overhead each vector context pays.
+#: Calibrated against measured wall time on the quick set.
+VECTOR_LANE_COST = 0.05
+VECTOR_SETUP_COST_PER_NET = 0.15
+
+
+@dataclass
+class _VectorContext:
+    """Dense arrays for one incremental update's masked vector sweeps.
+
+    Built transiently per :meth:`TimingEngine.apply_and_update` from
+    the shared SoA kernel plus this engine's cached stars — never
+    cached across updates, so there is no second source of truth to
+    drift.  ``edge_wire[slot]`` is the star-model wire delay of fanin
+    slot ``slot``; ``d_rise``/``d_fall`` are the per-gate cell delays
+    ``intrinsic + resistance * total_cap`` (the same mul-then-add the
+    scalar path performs, so lanes are bit-identical).
+    """
+
+    net_index: dict
+    net_names: tuple
+    num_inputs: int
+    num_gates: int
+    num_nets: int
+    num_levels: int
+    gate_level: "object"
+    net_level: "object"
+    fanin_offset: "object"
+    fanin_flat: "object"
+    fanin_counts: "object"
+    consumer_offset: "object"
+    consumer_counts: "object"
+    consumer_gate: "object"
+    consumer_slot: "object"
+    edge_wire: "object"
+    d_rise: "object"
+    d_fall: "object"
+    is_xor: "object"
+    is_neg: "object"
+    is_const: "object"
+
+
 
 
 @dataclass
@@ -94,19 +145,55 @@ class TimingStats:
     stars_built: int = 0
     arrival_evals: int = 0
     required_evals: int = 0
+    #: Subset of arrival/required evaluations served by the masked
+    #: vector passes (each also counts in its scalar-named total, so
+    #: ``node_updates`` keeps its meaning across code paths).
+    vector_arrival_evals: int = 0
+    vector_required_evals: int = 0
+    #: One per vector pass actually dispatched.
+    vector_dispatches: int = 0
+    #: Nets charged for vector-context array assembly (once per
+    #: context build, ``num_nets`` each).
+    vector_setup_nets: int = 0
 
     @property
     def node_updates(self) -> int:
         return self.stars_built + self.arrival_evals + self.required_evals
 
-    def as_dict(self) -> dict[str, int]:
+    @property
+    def work_units(self) -> float:
+        """Cost-weighted timing-update work.
+
+        ``node_updates`` counts evaluations; this weights them by what
+        they cost: a vectorized lane evaluation is a small fraction of
+        a scalar dict-walk one, plus the per-net assembly the vector
+        context pays up front.  A full analysis is all-scalar, so for
+        it ``work_units == node_updates``.
+        """
+        vector_evals = self.vector_arrival_evals + self.vector_required_evals
+        scalar_evals = (
+            self.arrival_evals + self.required_evals - vector_evals
+        )
+        return (
+            self.stars_built
+            + scalar_evals
+            + VECTOR_LANE_COST * vector_evals
+            + VECTOR_SETUP_COST_PER_NET * self.vector_setup_nets
+        )
+
+    def as_dict(self) -> dict[str, float]:
         return {
             "full_analyses": self.full_analyses,
             "incremental_updates": self.incremental_updates,
             "stars_built": self.stars_built,
             "arrival_evals": self.arrival_evals,
             "required_evals": self.required_evals,
+            "vector_arrival_evals": self.vector_arrival_evals,
+            "vector_required_evals": self.vector_required_evals,
+            "vector_dispatches": self.vector_dispatches,
+            "vector_setup_nets": self.vector_setup_nets,
             "node_updates": self.node_updates,
+            "work_units": self.work_units,
         }
 
 
@@ -556,22 +643,33 @@ class TimingEngine:
         for name in self._dirty_gates:
             if name in network and not network.is_input(name):
                 seeds.add(name)
-        heap = [(levels.get(name, 0), name) for name in seeds]
-        heapq.heapify(heap)
-        done: set[str] = set()
-        while heap:
-            _, name = heapq.heappop(heap)
-            if name in done:
-                continue
-            done.add(name)
-            new_arrival = self._gate_arrival(name)
-            if self.arrival.get(name) != new_arrival:
-                self.arrival[name] = new_arrival
-                for pin in network.fanout(name):
-                    if pin.gate not in done:
-                        heapq.heappush(
-                            heap, (levels.get(pin.gate, 0), pin.gate)
-                        )
+        # large frontiers take the masked vector sweep over the shared
+        # SoA arrays; small ones (and any state the arrays cannot
+        # describe) stay on the scalar worklist — both are bit-identical
+        ctx = (
+            self._vector_context()
+            if len(seeds) >= VECTOR_MIN_SEEDS
+            else None
+        )
+        if ctx is not None:
+            self._forward_arrival_vector(ctx, seeds)
+        else:
+            heap = [(levels.get(name, 0), name) for name in seeds]
+            heapq.heapify(heap)
+            done: set[str] = set()
+            while heap:
+                _, name = heapq.heappop(heap)
+                if name in done:
+                    continue
+                done.add(name)
+                new_arrival = self._gate_arrival(name)
+                if self.arrival.get(name) != new_arrival:
+                    self.arrival[name] = new_arrival
+                    for pin in network.fanout(name):
+                        if pin.gate not in done:
+                            heapq.heappush(
+                                heap, (levels.get(pin.gate, 0), pin.gate)
+                            )
         # 5. critical path target
         self.max_delay = 0.0
         for output in network.outputs:
@@ -593,23 +691,28 @@ class TimingEngine:
             bseeds.add(name)
             if not network.is_input(name):
                 bseeds.update(network.gate(name).fanins)
-        bheap = [(-levels.get(net, 0), net) for net in bseeds]
-        heapq.heapify(bheap)
-        bdone: set[str] = set()
-        while bheap:
-            _, net = heapq.heappop(bheap)
-            if net in bdone:
-                continue
-            bdone.add(net)
-            pair = self._recompute_req0(net, po_nets)
-            if self._req0.get(net) != pair:
-                self._req0[net] = pair
-                if not network.is_input(net):
-                    for fanin in network.gate(net).fanins:
-                        if fanin not in bdone:
-                            heapq.heappush(
-                                bheap, (-levels.get(fanin, 0), fanin)
-                            )
+        if ctx is None and len(bseeds) >= VECTOR_MIN_SEEDS:
+            ctx = self._vector_context()
+        if ctx is not None:
+            self._backward_required_vector(ctx, bseeds)
+        else:
+            bheap = [(-levels.get(net, 0), net) for net in bseeds]
+            heapq.heapify(bheap)
+            bdone: set[str] = set()
+            while bheap:
+                _, net = heapq.heappop(bheap)
+                if net in bdone:
+                    continue
+                bdone.add(net)
+                pair = self._recompute_req0(net, po_nets)
+                if self._req0.get(net) != pair:
+                    self._req0[net] = pair
+                    if not network.is_input(net):
+                        for fanin in network.gate(net).fanins:
+                            if fanin not in bdone:
+                                heapq.heappush(
+                                    bheap, (-levels.get(fanin, 0), fanin)
+                                )
         # 7. fold slacks against the (possibly shifted) target
         self._fold_slacks(target)
         self._analyzed_version = network.version
@@ -643,6 +746,321 @@ class TimingEngine:
             rise = min(rise, pin_rise_budget - wire)
             fall = min(fall, pin_fall_budget - wire)
         return (rise, fall)
+
+    # ------------------------------------------------------------------
+    # masked vector re-propagation (shared SoA kernel arrays)
+    # ------------------------------------------------------------------
+    def _vector_context(self) -> "_VectorContext | None":
+        """Assemble the dense arrays for the vector sweeps, or ``None``.
+
+        Bails to the scalar worklists whenever the flat view or the
+        cached timing state cannot fully describe the network — numpy
+        missing, a gate without a star, a cell name the library does
+        not know, or a star sink that no longer matches the current
+        wiring.  Both paths are bit-identical, so bailing only costs
+        speed.
+        """
+        if _np is None:
+            return None
+        from ..logic.simcore.compiled import OP_CONST0, OP_CONST1, OP_XOR
+        from ..network.soa import get_soa
+
+        kernel = get_soa(self.network)
+        compiled = kernel.sync()
+        arrays = kernel.arrays()
+        if arrays is None or compiled.num_gates == 0:
+            return None
+        num_inputs = compiled.num_inputs
+        num_gates = compiled.num_gates
+        stars = self.stars
+        cells = self.library
+        load = _np.zeros(num_gates)
+        rise_int = _np.zeros(num_gates)
+        rise_res = _np.zeros(num_gates)
+        fall_int = _np.zeros(num_gates)
+        fall_res = _np.zeros(num_gates)
+        for position, name in enumerate(compiled.gate_names):
+            star = stars.get(name)
+            if star is None:
+                return None
+            load[position] = star.total_cap
+            cell_name = kernel.cells[position]
+            if cell_name is None:
+                continue
+            try:
+                cell = cells.cell(cell_name)
+            except KeyError:
+                return None
+            rise_int[position] = cell.rise_intrinsic
+            rise_res[position] = cell.rise_resistance
+            fall_int[position] = cell.fall_intrinsic
+            fall_res[position] = cell.fall_resistance
+        net_index = compiled.net_index
+        offsets = compiled.fanin_offset
+        flat = compiled.fanin_flat
+        num_edges = len(flat)
+        edge_wire = _np.zeros(num_edges)
+        edge_ok = _np.zeros(num_edges, dtype=bool)
+        for net, star in stars.items():
+            index = net_index.get(net)
+            if index is None:
+                continue
+            for sink in star.sinks:
+                pin = sink.pin
+                if pin is None:
+                    continue
+                gate_index = net_index.get(pin.gate)
+                if gate_index is None or gate_index < num_inputs:
+                    continue
+                position = gate_index - num_inputs
+                width = offsets[position + 1] - offsets[position]
+                if not 0 <= pin.index < width:
+                    continue
+                slot = offsets[position] + pin.index
+                if flat[slot] != index or edge_ok[slot]:
+                    continue
+                edge_ok[slot] = True
+                edge_wire[slot] = sink.wire_delay
+        if not edge_ok.all():
+            return None
+        opcode = arrays["opcode"]
+        is_xor = opcode == OP_XOR
+        is_const = (opcode == OP_CONST0) | (opcode == OP_CONST1)
+        self.stats.vector_setup_nets += compiled.num_nets
+        return _VectorContext(
+            net_index=net_index,
+            net_names=compiled.inputs + compiled.gate_names,
+            num_inputs=num_inputs,
+            num_gates=num_gates,
+            num_nets=compiled.num_nets,
+            num_levels=arrays["num_levels"],
+            gate_level=arrays["gate_level"],
+            net_level=arrays["net_level"],
+            fanin_offset=arrays["fanin_offset"],
+            fanin_flat=arrays["fanin_flat"],
+            fanin_counts=arrays["fanin_counts"],
+            consumer_offset=arrays["consumer_offset"],
+            consumer_counts=arrays["consumer_counts"],
+            consumer_gate=arrays["consumer_gate"],
+            consumer_slot=arrays["consumer_slot"],
+            edge_wire=edge_wire,
+            d_rise=rise_int + rise_res * load,
+            d_fall=fall_int + fall_res * load,
+            is_xor=is_xor,
+            is_neg=arrays["invert"] & ~is_xor,
+            is_const=is_const,
+        )
+
+    def _forward_arrival_vector(
+        self, ctx: _VectorContext, seeds: set[str]
+    ) -> None:
+        """Levelized forward sweep over a dirty mask (= scalar worklist).
+
+        Arrivals live in dense (rise, fall, present) arrays; each level
+        gathers the dirty gates' fanin arrivals plus wire delays in one
+        ragged numpy pass, folds unateness and the cell delay, and
+        marks consumers of changed nets dirty.  The evaluation set and
+        every float match the scalar worklist exactly: fanins sit at
+        strictly lower levels, the reductions are pure selections, and
+        each lane performs the same mul-then-add arithmetic.
+        """
+        np = _np
+        num_inputs = ctx.num_inputs
+        arr_rise = np.zeros(ctx.num_nets)
+        arr_fall = np.zeros(ctx.num_nets)
+        present = np.zeros(ctx.num_nets, dtype=bool)
+        net_index = ctx.net_index
+        for net, pair in self.arrival.items():
+            index = net_index.get(net)
+            if index is not None:
+                arr_rise[index] = pair[0]
+                arr_fall[index] = pair[1]
+                present[index] = True
+        dirty = np.zeros(ctx.num_gates, dtype=bool)
+        for name in seeds:
+            index = net_index.get(name)
+            if index is not None and index >= num_inputs:
+                dirty[index - num_inputs] = True
+        self.stats.vector_dispatches += 1
+        gate_level = ctx.gate_level
+        changed_positions: list = []
+        for level in range(1, ctx.num_levels):
+            sel = np.nonzero(dirty & (gate_level == level))[0]
+            if sel.size == 0:
+                continue
+            dirty[sel] = False
+            self.stats.arrival_evals += sel.size
+            self.stats.vector_arrival_evals += sel.size
+            counts = ctx.fanin_counts[sel]
+            worst_rise = np.zeros(sel.size)
+            worst_fall = np.zeros(sel.size)
+            edges, seg_starts = ragged_indices(ctx.fanin_offset[sel], counts)
+            if edges.size:
+                wire = ctx.edge_wire[edges]
+                fanin = ctx.fanin_flat[edges]
+                pin_rise = arr_rise[fanin] + wire
+                pin_fall = arr_fall[fanin] + wire
+                own_xor = np.repeat(ctx.is_xor[sel], counts)
+                own_neg = np.repeat(ctx.is_neg[sel], counts)
+                both = np.maximum(pin_rise, pin_fall)
+                out_rise = np.where(
+                    own_xor, both, np.where(own_neg, pin_fall, pin_rise)
+                )
+                out_fall = np.where(
+                    own_xor, both, np.where(own_neg, pin_rise, pin_fall)
+                )
+                nonempty = counts > 0
+                worst_rise[nonempty] = np.maximum.reduceat(
+                    out_rise, seg_starts[nonempty]
+                )
+                worst_fall[nonempty] = np.maximum.reduceat(
+                    out_fall, seg_starts[nonempty]
+                )
+                # scalar worst-folds start at 0.0
+                np.maximum(worst_rise, 0.0, out=worst_rise)
+                np.maximum(worst_fall, 0.0, out=worst_fall)
+            const = ctx.is_const[sel]
+            new_rise = np.where(const, 0.0, worst_rise + ctx.d_rise[sel])
+            new_fall = np.where(const, 0.0, worst_fall + ctx.d_fall[sel])
+            nets = sel + num_inputs
+            changed = (
+                ~present[nets]
+                | (new_rise != arr_rise[nets])
+                | (new_fall != arr_fall[nets])
+            )
+            arr_rise[nets] = new_rise
+            arr_fall[nets] = new_fall
+            present[nets] = True
+            changed_nets = nets[changed]
+            if changed_nets.size:
+                changed_positions.append(sel[changed])
+                cons, _ = ragged_indices(
+                    ctx.consumer_offset[changed_nets],
+                    ctx.consumer_counts[changed_nets],
+                )
+                if cons.size:
+                    dirty[ctx.consumer_gate[cons]] = True
+        if changed_positions:
+            all_changed = np.concatenate(changed_positions)
+            names = ctx.net_names
+            arrival = self.arrival
+            rises = arr_rise[all_changed + num_inputs].tolist()
+            falls = arr_fall[all_changed + num_inputs].tolist()
+            for position, rise, fall in zip(
+                all_changed.tolist(), rises, falls
+            ):
+                arrival[names[num_inputs + position]] = (rise, fall)
+
+    def _backward_required_vector(
+        self, ctx: _VectorContext, bseeds: set[str]
+    ) -> None:
+        """Levelized backward sweep over a dirty net mask.
+
+        The dense mirror of the scalar loop around
+        :meth:`_recompute_req0`: per level (descending) each dirty net
+        refolds its zero-target required pair from its consumers'
+        cached pairs, the consumer cell delays, unateness, and the
+        star wire delays; changed nets mark their driver's fanins
+        dirty.  A consumer with no cached pair contributes ``+inf`` —
+        the identity of the min fold — exactly like the scalar
+        ``continue``.
+        """
+        np = _np
+        INF = float("inf")
+        num_inputs = ctx.num_inputs
+        req_rise = np.full(ctx.num_nets, INF)
+        req_fall = np.full(ctx.num_nets, INF)
+        present = np.zeros(ctx.num_nets, dtype=bool)
+        net_index = ctx.net_index
+        for net, pair in self._req0.items():
+            index = net_index.get(net)
+            if index is not None:
+                req_rise[index] = pair[0]
+                req_fall[index] = pair[1]
+                present[index] = True
+        po_base = np.full(ctx.num_nets, INF)
+        for net in self.network.outputs:
+            index = net_index.get(net)
+            if index is not None:
+                po_base[index] = -self._po_wire_delay(net)
+        dirty = np.zeros(ctx.num_nets, dtype=bool)
+        for net in bseeds:
+            index = net_index.get(net)
+            if index is not None:
+                dirty[index] = True
+        self.stats.vector_dispatches += 1
+        net_level = ctx.net_level
+        changed_all: list = []
+        for level in range(ctx.num_levels - 1, -1, -1):
+            sel = np.nonzero(dirty & (net_level == level))[0]
+            if sel.size == 0:
+                continue
+            dirty[sel] = False
+            self.stats.required_evals += sel.size
+            self.stats.vector_required_evals += sel.size
+            new_rise = po_base[sel].copy()
+            new_fall = po_base[sel].copy()
+            counts = ctx.consumer_counts[sel]
+            edges, seg_starts = ragged_indices(
+                ctx.consumer_offset[sel], counts
+            )
+            if edges.size:
+                gates = ctx.consumer_gate[edges]
+                gate_nets = gates + num_inputs
+                # absent consumer pairs hold the +inf they were
+                # initialised with: a no-op in the min fold, like the
+                # scalar skip
+                out_rise = req_rise[gate_nets] - ctx.d_rise[gates]
+                out_fall = req_fall[gate_nets] - ctx.d_fall[gates]
+                g_xor = ctx.is_xor[gates]
+                g_neg = ctx.is_neg[gates]
+                both = np.minimum(out_rise, out_fall)
+                budget_rise = np.where(
+                    g_xor, both, np.where(g_neg, out_fall, out_rise)
+                )
+                budget_fall = np.where(
+                    g_xor, both, np.where(g_neg, out_rise, out_fall)
+                )
+                wire = ctx.edge_wire[ctx.consumer_slot[edges]]
+                contrib_rise = budget_rise - wire
+                contrib_fall = budget_fall - wire
+                nonempty = counts > 0
+                new_rise[nonempty] = np.minimum(
+                    new_rise[nonempty],
+                    np.minimum.reduceat(contrib_rise, seg_starts[nonempty]),
+                )
+                new_fall[nonempty] = np.minimum(
+                    new_fall[nonempty],
+                    np.minimum.reduceat(contrib_fall, seg_starts[nonempty]),
+                )
+            changed = (
+                ~present[sel]
+                | (new_rise != req_rise[sel])
+                | (new_fall != req_fall[sel])
+            )
+            req_rise[sel] = new_rise
+            req_fall[sel] = new_fall
+            present[sel] = True
+            changed_ids = sel[changed]
+            if changed_ids.size:
+                changed_all.append(changed_ids)
+                gate_ids = changed_ids[changed_ids >= num_inputs]
+                gate_ids = gate_ids - num_inputs
+                if gate_ids.size:
+                    fans, _ = ragged_indices(
+                        ctx.fanin_offset[gate_ids],
+                        ctx.fanin_counts[gate_ids],
+                    )
+                    if fans.size:
+                        dirty[ctx.fanin_flat[fans]] = True
+        if changed_all:
+            ids = np.concatenate(changed_all)
+            names = ctx.net_names
+            req0 = self._req0
+            rises = req_rise[ids].tolist()
+            falls = req_fall[ids].tolist()
+            for index, rise, fall in zip(ids.tolist(), rises, falls):
+                req0[names[index]] = (rise, fall)
 
     # ------------------------------------------------------------------
     # snapshot export (parallel gain evaluation)

@@ -63,8 +63,42 @@ def test_get_compiled_caches_and_invalidates():
     first = get_compiled(net)
     assert get_compiled(net) is first
     name = next(net.gate_names())
-    net.set_cell(name, None)  # any mutation bumps the version
+    # a cell rebind patches the shared view in place: same object,
+    # version kept current, logic arrays untouched
+    net.set_cell(name, None)
+    assert get_compiled(net) is first
+    assert first.version == net.version
+    # a structural mutation forces a fresh compile
+    gate = net.gate(name)
+    net.set_fanins(name, list(gate.fanins))
     assert get_compiled(net) is not first
+    assert get_compiled(net).version == net.version
+
+
+def test_get_compiled_absorbs_pin_rewiring_in_place():
+    net = random_network(7, num_inputs=5, num_gates=14, num_outputs=2)
+    first = get_compiled(net)
+    revision = first.revision
+    # find a gate pin that can legally point at a primary input it
+    # does not already read
+    for gate in net.gates():
+        for index, fanin in enumerate(gate.fanins):
+            for candidate in net.inputs:
+                if candidate not in gate.fanins:
+                    net.replace_fanin(Pin(gate.name, index), candidate)
+                    patched = get_compiled(net)
+                    assert patched is first
+                    assert patched.revision > revision
+                    assert patched.version == net.version
+                    slot = patched.fanin_offset[
+                        patched.position_of(gate.name)
+                    ] + index
+                    assert (
+                        patched.fanin_flat[slot]
+                        == patched.net_index[candidate]
+                    )
+                    return
+    pytest.skip("no legal rewiring candidate in the random net")
 
 
 # ----------------------------------------------------------------------

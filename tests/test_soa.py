@@ -1,0 +1,236 @@
+"""The SoA kernel must stay consistent with the object API, always.
+
+Three properties, all under randomized mutation sequences mirroring
+``tests/test_incremental_sta.py``:
+
+* the kernel's flat form (and its numpy mirrors) equals a from-scratch
+  ``compile_network`` after every committed move, whether the kernel
+  absorbed the event as an in-place patch or rebuilt;
+* a shared-memory ``soa_full`` snapshot round-trips to an ``EvalState``
+  bit-identical to the pickled-object-graph payload it replaces;
+* the masked vector STA pass (forced on by dropping the seed-count
+  gate to zero) matches a fresh full analysis after every move.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+
+from repro.logic.simcore.compiled import compile_network
+from repro.network.netlist import Pin
+from repro.network.soa import get_soa, sta_levels
+from repro.parallel import snapshot as snapshot_codec
+from repro.timing.sta import TimingEngine
+
+from test_incremental_sta import assert_matches_fresh, prepared, random_move
+
+np = pytest.importorskip("numpy")
+
+
+def _flat_view(compiled):
+    """Per-gate (opcode, invert, fanin names) by name — order-free."""
+    names = list(compiled.inputs) + list(compiled.gate_names)
+    view = {}
+    for position, gate in enumerate(compiled.gate_names):
+        fanins = tuple(
+            names[compiled.fanin_flat[slot]]
+            for slot in range(
+                compiled.fanin_offset[position],
+                compiled.fanin_offset[position + 1],
+            )
+        )
+        view[gate] = (
+            compiled.opcode[position], compiled.invert[position], fanins,
+        )
+    return view
+
+
+def assert_kernel_matches_fresh(kernel, network, context=""):
+    """Kernel flat form + numpy mirrors describe the live network.
+
+    A patched kernel legally preserves its historical topological
+    order, which need not equal a fresh compile's tie-break — so the
+    comparison is semantic (same gates, same edges, same bindings)
+    plus the structural invariants every consumer relies on (a valid
+    topological order, the level recurrence, a consumer CSR that
+    inverts the fanin CSR edge for edge).
+    """
+    compiled = kernel.sync()
+    fresh = compile_network(network)
+    assert compiled.inputs == fresh.inputs, context
+    assert sorted(compiled.gate_names) == sorted(fresh.gate_names), context
+    assert _flat_view(compiled) == _flat_view(fresh), context
+    assert compiled.version == network.version, context
+    num_inputs = compiled.num_inputs
+    # the stored order must be topologically valid: every gate fanin is
+    # a PI or a gate at an earlier position
+    for position in range(compiled.num_gates):
+        for slot in range(
+            compiled.fanin_offset[position],
+            compiled.fanin_offset[position + 1],
+        ):
+            index = compiled.fanin_flat[slot]
+            assert index < num_inputs + position, context
+    cells = {
+        name: network.gate(name).cell for name in compiled.gate_names
+    }
+    assert dict(zip(compiled.gate_names, kernel.cells)) == cells, context
+    arrays = kernel.arrays()
+    assert arrays["opcode"].tolist() == compiled.opcode, context
+    assert arrays["invert"].tolist() == compiled.invert, context
+    assert arrays["fanin_offset"].tolist() == compiled.fanin_offset, context
+    assert arrays["fanin_flat"].tolist() == compiled.fanin_flat, context
+    gate_level, net_level = sta_levels(compiled)
+    assert arrays["gate_level"].tolist() == gate_level, context
+    assert arrays["net_level"].tolist() == net_level, context
+    assert arrays["num_levels"] == max(gate_level, default=0) + 1, context
+    # consumer CSR inverts the fanin CSR edge for edge
+    offset = arrays["consumer_offset"]
+    for net in range(compiled.num_nets):
+        for edge in range(int(offset[net]), int(offset[net + 1])):
+            gate = int(arrays["consumer_gate"][edge])
+            pin = int(arrays["consumer_pin"][edge])
+            slot = int(arrays["consumer_slot"][edge])
+            assert compiled.fanin_offset[gate] + pin == slot, context
+            assert compiled.fanin_flat[slot] == net, context
+    assert int(offset[-1]) == len(compiled.fanin_flat), context
+
+
+@pytest.mark.parametrize("seed", [1, 2, 5, 9, 12])
+def test_kernel_matches_fresh_compile_after_random_moves(seed, library):
+    net, _placement = prepared(seed, library)
+    kernel = get_soa(net)
+    assert_kernel_matches_fresh(kernel, net, context="initial")
+    rng = random.Random(2000 + seed)
+    moves = 0
+    for step in range(20):
+        label = random_move(net, library, rng)
+        if label is None:
+            break
+        moves += 1
+        assert_kernel_matches_fresh(
+            kernel, net, context=f"step {step}: {label}"
+        )
+    assert moves, "property test never exercised a move"
+
+
+def test_kernel_absorbs_pin_rewires_without_rebuilding(library):
+    net, _placement = prepared(7, library)
+    kernel = get_soa(net)
+    compiled = kernel.sync()
+    epoch = kernel.epoch
+    # rewiring any pin to a primary input keeps the stored topological
+    # order valid, so the kernel must patch in place: same compiled
+    # object, same epoch, higher revision
+    gate = next(iter(net.gate_names()))
+    target = net.inputs[0]
+    revision = compiled.revision
+    net.replace_fanin(Pin(gate, 0), target)
+    assert kernel.sync() is compiled
+    assert kernel.epoch == epoch
+    assert compiled.revision > revision
+    assert kernel.patches >= 1
+    assert_kernel_matches_fresh(kernel, net, context="pin rewire")
+
+
+def _state_fields(state, ordered=True):
+    """Comparable capture of every ``EvalState`` field.
+
+    ``ordered=True`` also captures dictionary iteration order — the
+    guarantee full payloads make.  Deltas reconstruct on top of the
+    baseline's ordering (``dict.update`` keeps existing positions), so
+    they only promise value equality.
+    """
+    items = (lambda d: list(d.items())) if ordered else dict
+    return [
+        state.network.inputs,
+        state.network.outputs,
+        items(state.network._gates),
+        [
+            (g.name, g.gtype, g.fanins, g.cell)
+            for g in sorted(
+                state.network._gates.values(), key=lambda g: g.name
+            )
+        ],
+        state.network.version,
+        state.network.name,
+        items(state.placement.locations),
+        items(state.placement.input_pads),
+        items(state.placement.output_pads),
+        (state.placement.die_width, state.placement.die_height),
+        items(state.arrival),
+        items(state.slack),
+        items(state.stars),
+        items(state.levels),
+        items(state.req0),
+        state.period,
+        state.po_pad_cap,
+        state.max_delay,
+        state.version,
+    ]
+
+
+@pytest.mark.parametrize("seed", [3, 11])
+def test_shared_memory_snapshot_round_trip(seed, library):
+    net, placement = prepared(seed, library)
+    engine = TimingEngine(net, placement, library)
+    engine.analyze()
+    codec = snapshot_codec.EvalSnapshotCodec()
+    snapshot_codec.clear_worker_cache()
+    try:
+        rng = random.Random(3000 + seed)
+        for step in range(4):
+            payload = codec.encode(engine)
+            kind = pickle.loads(payload)[0]
+            if step == 0:
+                assert kind == "soa_full", (
+                    "first batch must ship the shared-memory baseline"
+                )
+            decoded = snapshot_codec.decode(payload)
+            assert decoded is not None, f"step {step}: stale {kind}"
+            # the reference path: pickle the object graph and clone it,
+            # exactly what the retired protocol shipped
+            reference = snapshot_codec._clone_state(
+                pickle.loads(pickle.dumps(
+                    engine.export_eval_state(),
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                ))
+            )
+            ordered = kind != "delta"
+            assert (
+                _state_fields(decoded, ordered)
+                == _state_fields(reference, ordered)
+            ), f"step {step}: {kind} payload diverged"
+            label = random_move(net, library, rng)
+            assert label is not None
+            engine.apply_and_update()
+    finally:
+        codec.close()
+        snapshot_codec.clear_worker_cache()
+
+
+@pytest.mark.parametrize("seed", [1, 9])
+def test_masked_vector_sta_matches_fresh(seed, library, monkeypatch):
+    # force every re-propagation through the vector pass regardless of
+    # how few seeds a move dirties
+    monkeypatch.setattr("repro.timing.sta.VECTOR_MIN_SEEDS", 0)
+    net, placement = prepared(seed, library)
+    engine = TimingEngine(net, placement, library)
+    engine.analyze()
+    rng = random.Random(4000 + seed)
+    moves = 0
+    for step in range(12):
+        label = random_move(net, library, rng)
+        if label is None:
+            break
+        moves += 1
+        engine.apply_and_update()
+        assert_matches_fresh(
+            engine, net, placement, library, context=f"step {step}: {label}"
+        )
+    assert moves, "property test never exercised a move"
+    assert engine.stats.vector_dispatches > 0
+    assert engine.stats.full_analyses == 1
