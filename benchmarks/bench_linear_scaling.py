@@ -21,7 +21,7 @@ import time
 from repro.network.netlist import Pin
 from repro.network.soa import get_soa
 from repro.suite.circuits import random_control
-from repro.suite.registry import configured_scale
+from repro.suite.registry import build_benchmark, configured_scale
 from repro.symmetry.supergate import extract_supergates
 from repro.synth.strash import script_rugged
 
@@ -34,6 +34,12 @@ SOA_FLATTEN_GATES_PER_S = 10_000
 SOA_PATCH_REVALIDATE_SPEEDUP = 20.0
 SOA_PATCH_ARRAYS_SPEEDUP = 4.0
 SOA_CACHED_VIEW_SPEEDUP = 50.0
+
+#: End-to-end throughput floor for one partitioned rewiring pass
+#: (carve + per-region selection + serial commit, timing-blind) over
+#: the ``tiled100k`` workload — CI asserts the 1e5-gate path never
+#: regresses below a third of the measured steady-state rate.
+PARTITION_GATES_PER_S = 1_500
 
 
 def _prepared(num_gates: int):
@@ -193,4 +199,65 @@ def test_soa_flatten_and_revalidate_floors():
     assert cached_speedup >= SOA_CACHED_VIEW_SPEEDUP, (
         f"cached view reuse is only {cached_speedup:.1f}x faster "
         f"than a full flatten"
+    )
+
+
+def test_partitioned_rewiring_scales():
+    """The 1e5-gate rewiring path: carve, select, commit, verify.
+
+    Builds the ``tiled100k`` workload at the configured scale (the
+    full 1e5 gates at ``REPRO_SCALE=1.0``), grid-places it, and runs
+    one timing-blind partitioned wirelength pass.  Asserts the
+    structural contract (multiple regions under the bound, zero
+    boundary conflicts, HPWL monotone, function preserved) and a
+    throughput floor over the whole carve+rewire step.
+    """
+    from repro.library.cells import default_library
+    from repro.place.placement import grid_placement
+    from repro.rapids.partition import reduce_wirelength_partitioned
+    from repro.synth.mapper import map_network
+    from repro.verify.equiv import networks_equivalent
+
+    target = max(4000, int(100_000 * configured_scale()))
+    net = build_benchmark("tiled100k", scale=target / 100_000)
+    map_network(net, default_library())
+    placement = grid_placement(net)
+    reference = net.copy()
+
+    start = time.perf_counter()
+    result = reduce_wirelength_partitioned(
+        net, placement, max_gates=2048, max_passes=1,
+        timing_engine=None,
+    )
+    elapsed = time.perf_counter() - start
+    gates_per_s = len(net) / elapsed
+    print(
+        f"\npartitioned rewiring at {len(net)} gates:"
+        f"\n  regions: {result.regions} "
+        f"(max {result.max_region_gates} gates, "
+        f"{result.boundary_nets} boundary nets)"
+        f"\n  swaps: {result.swaps_applied} + "
+        f"{result.cross_swaps_applied} cross in {result.rounds} rounds"
+        f"\n  hpwl: {result.initial_hpwl:.0f} -> {result.final_hpwl:.0f} "
+        f"({result.improvement_percent:+.1f}%)"
+        f"\n  wall: {elapsed:.2f} s ({gates_per_s:.0f} gates/s)"
+    )
+    record_result(
+        "linear_scaling", "partitioned_rewiring",
+        gates=len(net),
+        regions=result.regions,
+        max_region_gates=result.max_region_gates,
+        boundary_nets=result.boundary_nets,
+        swaps_applied=result.swaps_applied + result.cross_swaps_applied,
+        hpwl_improvement_percent=round(result.improvement_percent, 2),
+        gates_per_s=round(gates_per_s, 1),
+    )
+    assert result.regions > 1
+    assert result.max_region_gates <= 2048
+    assert result.boundary_conflicts == 0
+    assert result.swaps_applied + result.cross_swaps_applied > 0
+    assert result.final_hpwl <= result.initial_hpwl
+    assert networks_equivalent(reference, net)
+    assert gates_per_s >= PARTITION_GATES_PER_S, (
+        f"partitioned rewiring sustains only {gates_per_s:.0f} gates/s"
     )

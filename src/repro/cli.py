@@ -16,7 +16,13 @@ import sys
 
 from .rapids.report import Table1Row, averages
 from .suite.flow import FlowConfig, run_benchmark, run_suite
-from .suite.registry import PAPER_AVERAGES, REGISTRY, benchmark_names
+from .suite.registry import (
+    PAPER_AVERAGES,
+    REGISTRY,
+    UnknownBenchmarkError,
+    benchmark_names,
+    synthetic_names,
+)
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -26,6 +32,12 @@ def _cmd_list(_args: argparse.Namespace) -> int:
         print(
             f"{name:<10}{spec.family:<12}{spec.paper.gates:>12}"
             f"{spec.paper.init_ns:>9.1f}"
+        )
+    for name in synthetic_names():
+        spec = REGISTRY[name]
+        print(
+            f"{name:<10}{spec.family:<12}{spec.paper.gates:>12}"
+            f"{'--':>9}"
         )
     return 0
 
@@ -40,6 +52,8 @@ def _cmd_table1(args: argparse.Namespace) -> int:
         wl_batched=args.wl_batched,
         wl_timing_aware=args.wl_timing_aware,
         wl_slack_margin=args.wl_slack_margin,
+        partition=args.partition,
+        partition_max_gates=args.partition_max_gates,
     )
     names = args.names or benchmark_names()
     print(Table1Row.HEADER)
@@ -81,6 +95,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         wl_batched=args.wl_batched,
         wl_timing_aware=args.wl_timing_aware,
         wl_slack_margin=args.wl_slack_margin,
+        partition=args.partition,
+        partition_max_gates=args.partition_max_gates,
     )
     outcome = run_benchmark(args.name, config)
     print(f"benchmark {args.name} (scale {outcome.scale})")
@@ -203,6 +219,21 @@ def main(argv: list[str] | None = None) -> int:
                  "negative values trade bounded delay for wire, "
                  "positive values keep a safety band (default: 0.0)",
         )
+        p.add_argument(
+            "--partition", action=argparse.BooleanOptionalAction,
+            default=False,
+            help="run the wirelength polish region-bounded: FM-carve "
+                 "the placed netlist into regions with frozen boundary "
+                 "nets, select per region (concurrently with "
+                 "--workers), commit through the serial conflict-free "
+                 "committer — the 1e5+ gate path (default: off)",
+        )
+        p.add_argument(
+            "--partition-max-gates", type=int, default=2500, metavar="N",
+            help="region size cap for the partitioned carve; large "
+                 "enough for one region reproduces the unpartitioned "
+                 "trajectory bit-for-bit (default: 2500)",
+        )
 
     p_table = sub.add_parser("table1", help="reproduce Table 1")
     p_table.add_argument("names", nargs="*", help="subset of benchmarks")
@@ -226,7 +257,11 @@ def main(argv: list[str] | None = None) -> int:
     p_sym.set_defaults(func=_cmd_symmetries)
 
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except UnknownBenchmarkError as exc:
+        print(f"rapids: {exc.args[0]}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -116,6 +116,8 @@ class Network:
         self.version = 0
         self._fanout_cache: dict[str, list[Pin]] | None = None
         self._fanout_version = -1
+        self._po_count_cache: dict[str, int] | None = None
+        self._po_count_version = -1
         self._topo_cache: list[str] | None = None
         self._topo_version = -1
         self._listeners: weakref.WeakSet[NetworkListener] = weakref.WeakSet()
@@ -240,8 +242,17 @@ class Network:
         return self._fanout_map().get(net, [])
 
     def fanout_degree(self, net: str) -> int:
-        """Number of sink pins plus one if the net is a primary output."""
-        return len(self.fanout(net)) + self.outputs.count(net)
+        """Number of sink pins plus one per primary-output listing."""
+        if (
+            self._po_count_cache is None
+            or self._po_count_version != self.version
+        ):
+            counts: dict[str, int] = {}
+            for output in self.outputs:
+                counts[output] = counts.get(output, 0) + 1
+            self._po_count_cache = counts
+            self._po_count_version = self.version
+        return len(self.fanout(net)) + self._po_count_cache.get(net, 0)
 
     def _fanout_map(self) -> dict[str, list[Pin]]:
         if self._fanout_cache is None or self._fanout_version != self.version:

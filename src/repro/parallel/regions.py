@@ -1,0 +1,181 @@
+"""Concurrent per-region candidate selection for partitioned rewiring.
+
+The partitioned pipeline (:mod:`repro.rapids.partition`) selects moves
+per region against *round-start* state and only then commits — so the
+per-region selection calls are pure functions of that frozen state and
+can run anywhere.  This module runs them on :class:`EvalPool` worker
+processes: the parent encodes one ``soa_full``/delta snapshot of its
+timing engine per round (the same codec, session cache and staleness
+protocol as gain evaluation — :mod:`repro.parallel.snapshot`), workers
+rebuild the netlist, placement and (for the timing-aware objective) a
+read-only timing engine from it, run the shared selector
+:func:`repro.rapids.wirelength._select_batch` over their region
+shard, and return the accepted selections keyed by region order.
+
+Worker-count invariance: a worker's replica is bit-exact (the snapshot
+round-trip is asserted bit-exact by ``tests/test_soa.py``) and the
+selector is deterministic and read-only, so inline and remote
+selection of the same region agree move-for-move.  The parent keeps
+shard 0 and evaluates it against its live engines while workers run,
+exactly like gain evaluation; stale shards (a worker that missed the
+session baseline) fall back to the parent and trigger a baseline
+re-ship, and any pool failure degrades the whole session to inline
+selection with the reason recorded — results identical either way.
+"""
+
+from __future__ import annotations
+
+from ..contracts import worker_entry
+from .evaluate import shard_sites
+from .pool import EvalPool
+from .snapshot import decode as _decode_snapshot
+
+#: Opt-in to the determinism lint (rule D of ``python -m tools.lint``).
+__deterministic__ = True
+
+
+@worker_entry
+def _select_regions_in_worker(
+    payload: bytes,
+    shard: list[tuple[int, tuple]],
+    timing_aware: bool,
+    margin: float,
+    min_gain: float,
+) -> tuple[str, tuple | None]:
+    """Worker entry: rebuild engines from the snapshot, select a shard.
+
+    *shard* holds ``(order, (region_index, pairs, crosses))`` tuples.
+    Returns ``("stale", None)`` when the snapshot delta references a
+    baseline this process never cached (the parent then selects the
+    shard inline), else ``("ok", (selections, rejected, scored))``
+    with ``selections`` as ``(order, accepted)`` pairs, the worker
+    gate's rejected-candidate keys (merged into the parent's stats)
+    and the replica engine's scored-candidate count.
+    """
+    from ..place.hpwl import WirelengthEngine
+    from ..rapids.wirelength import _TimingGate, _select_batch
+    from ..timing.sta import TimingEngine
+
+    state = _decode_snapshot(payload)
+    if state is None:
+        return ("stale", None)
+    network = state.network
+    engine = WirelengthEngine(network, state.placement)
+    gate = None
+    if timing_aware:
+        gate = _TimingGate(TimingEngine.from_eval_state(state), margin)
+    scored_before = engine.candidates_scored
+    selections = []
+    for order, (region_index, pairs, crosses) in shard:
+        del region_index  # selection is region-agnostic; kept for logs
+        selections.append(
+            (order, _select_batch(
+                network, engine, pairs, crosses, min_gain, gate,
+            ))
+        )
+    rejected = sorted(gate.rejected_keys) if gate is not None else []
+    scored = engine.candidates_scored - scored_before
+    return ("ok", (selections, rejected, scored))
+
+
+class RegionEvalSession:
+    """One partitioned run's worth of concurrent region selection.
+
+    Wraps an :class:`EvalPool` for its executor, snapshot codec and
+    degradation machinery.  *carrier* is the timing engine whose
+    exported :class:`~repro.timing.sta.EvalState` ships the netlist
+    and placement to workers — the slack gate's engine on the
+    timing-aware objective, or a snapshot-only engine built from the
+    library on the timing-blind one.  *gate* (optional) receives the
+    workers' rejected-candidate keys so the reported rejection stats
+    match the serial path.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        carrier,
+        timing_aware: bool,
+        margin: float,
+        min_gain: float,
+        gate=None,
+        backend: str = "process",
+    ) -> None:
+        self.carrier = carrier
+        self.timing_aware = timing_aware
+        self.margin = margin
+        self.min_gain = min_gain
+        self.gate = gate
+        self.pool = EvalPool(workers, backend=backend)
+        #: True when the most recent round actually ran on the pool.
+        self.parallel_last_round = False
+
+    @property
+    def active(self) -> bool:
+        return self.pool.active
+
+    @property
+    def fallback_reason(self) -> str | None:
+        return self.pool.fallback_reason
+
+    def close(self) -> None:
+        self.pool.close()
+
+    def select_round(
+        self, tasks: list[tuple], select_inline
+    ) -> tuple[list, int]:
+        """Selections for *tasks* (in order) plus remote scored count.
+
+        *select_inline* is the live-engine selector the parent uses
+        for its own shard and for every fallback; remote shards are
+        selected on workers against this round's snapshot.  Selection
+        is read-only and repeatable, so any failure path simply
+        re-selects inline — the returned selections are identical.
+        """
+        self.parallel_last_round = False
+        if not self.pool.active or len(tasks) < 2:
+            return [select_inline(task) for task in tasks], 0
+        try:
+            return self._select_sharded(tasks, select_inline)
+        except Exception as error:
+            self.pool._degrade(f"{type(error).__name__}: {error}")
+            return [select_inline(task) for task in tasks], 0
+
+    def _select_sharded(self, tasks, select_inline):
+        executor = self.pool._ensure_executor()
+        self.carrier.refresh()
+        payload = self.pool.snapshot.encode(self.carrier)
+        shards = shard_sites(tasks, self.pool.workers)
+        local_shard, remote_shards = shards[0], shards[1:]
+        futures = [
+            (shard, executor.submit(
+                _select_regions_in_worker, payload, shard,
+                self.timing_aware, self.margin, self.min_gain,
+            ))
+            for shard in remote_shards
+        ]
+        results: list = [None] * len(tasks)
+        for order, task in local_shard:
+            results[order] = select_inline(task)
+        scored = 0
+        stale_seen = False
+        for shard, future in futures:
+            status, packed = future.result()
+            if status == "stale":
+                self.pool.snapshot.stats.stale_shards += 1
+                stale_seen = True
+                for order, task in shard:
+                    results[order] = select_inline(task)
+                continue
+            selections, rejected, shard_scored = packed
+            scored += shard_scored
+            if self.gate is not None and rejected:
+                self.gate.rejected_keys.update(
+                    tuple(key) for key in rejected
+                )
+            for order, accepted in selections:
+                results[order] = accepted
+        if stale_seen:
+            self.pool.snapshot.invalidate()
+        self.parallel_last_round = True
+        return results, scored

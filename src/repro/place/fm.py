@@ -10,6 +10,7 @@ per-cell weights.
 
 from __future__ import annotations
 
+import heapq
 import random
 from dataclasses import dataclass
 
@@ -24,34 +25,41 @@ class FmResult:
 
 
 class _GainBuckets:
-    """Bucket array keyed by gain with O(1) updates (the FM structure)."""
+    """Bucket array keyed by gain with O(1) updates (the FM structure).
+
+    Buckets are lazy min-heaps of cell indices: ``gain`` is the source
+    of truth, entries whose recorded gain no longer matches their
+    bucket's level are stale and skipped on pop.  ``pop_best`` returns
+    the *smallest* allowed cell index at the highest populated level —
+    the same deterministic (hash-seed-independent) tie-break as a full
+    ``min()`` scan of a set bucket, without the O(bucket) rescan per
+    pop that made large flat gain distributions quadratic.
+    """
 
     def __init__(self, max_gain: int) -> None:
         self.max_gain = max_gain
-        self.buckets: list[set[int]] = [
-            set() for _ in range(2 * max_gain + 1)
+        self.buckets: list[list[int]] = [
+            [] for _ in range(2 * max_gain + 1)
         ]
         self.gain: dict[int, int] = {}
         self.best = -max_gain - 1
 
     def insert(self, cell: int, gain: int) -> None:
         self.gain[cell] = gain
-        self.buckets[gain + self.max_gain].add(cell)
+        heapq.heappush(self.buckets[gain + self.max_gain], cell)
         if gain > self.best:
             self.best = gain
 
     def remove(self, cell: int) -> None:
-        gain = self.gain.pop(cell)
-        self.buckets[gain + self.max_gain].discard(cell)
+        # the bucket entry goes stale and is skipped on a later pop
+        self.gain.pop(cell)
 
     def update(self, cell: int, delta: int) -> None:
         if cell not in self.gain:
             return
-        gain = self.gain[cell]
-        self.buckets[gain + self.max_gain].discard(cell)
-        gain += delta
+        gain = self.gain[cell] + delta
         self.gain[cell] = gain
-        self.buckets[gain + self.max_gain].add(cell)
+        heapq.heappush(self.buckets[gain + self.max_gain], cell)
         if gain > self.best:
             self.best = gain
 
@@ -59,15 +67,25 @@ class _GainBuckets:
         """Highest-gain cell satisfying *allowed*; removes and returns it."""
         level = min(self.best, self.max_gain)
         while level >= -self.max_gain:
-            bucket = self.buckets[level + self.max_gain]
-            # deterministic tie-break (set order varies with hash seed)
-            candidate = min(
-                (cell for cell in bucket if allowed(cell)), default=None,
-            )
-            if candidate is not None:
-                self.remove(candidate)
+            heap = self.buckets[level + self.max_gain]
+            skipped: list[int] = []
+            found = None
+            while heap:
+                cell = heap[0]
+                if self.gain.get(cell) != level:
+                    heapq.heappop(heap)  # stale entry
+                    continue
+                cell = heapq.heappop(heap)
+                if allowed(cell):
+                    found = cell
+                    break
+                skipped.append(cell)
+            for cell in skipped:
+                heapq.heappush(heap, cell)
+            if found is not None:
+                self.remove(found)
                 self.best = level
-                return candidate
+                return found
             level -= 1
         return None
 

@@ -411,6 +411,8 @@ def run_rapids(
     wl_batched: bool = True,
     wl_timing_aware: bool = True,
     wl_slack_margin: float = 0.0,
+    partition: bool = False,
+    partition_max_gates: int = 2500,
 ) -> RapidsResult:
     """Optimize a placed mapped network in place; returns the report.
 
@@ -434,6 +436,14 @@ def run_rapids(
     recovers wirelength without giving back the delay the sizing
     passes just bought; ``wl_timing_aware=False`` restores the
     timing-blind HPWL-only objective.
+    With *partition* the polish runs region-bounded: the placed
+    netlist is FM-carved into regions of at most
+    *partition_max_gates* gates with frozen boundary nets, regions
+    are selected independently (concurrently when ``workers > 1``)
+    and committed through the serial conflict-free committer — same
+    semantics restricted to intra-region moves, scaling the polish to
+    1e5+ gates (see :mod:`repro.rapids.partition`; implies the
+    batched path).
     """
     if mode not in MODES:
         raise ValueError(f"unknown mode {mode!r}; pick one of {MODES}")
@@ -474,10 +484,21 @@ def run_rapids(
             # target to this analysis' critical path
             wl_timing = TimingEngine(network, placement, library)
             wl_timing.analyze()
-        wirelength = reduce_wirelength(
-            network, placement, max_passes=wl_passes, batched=wl_batched,
-            timing_engine=wl_timing, slack_margin=wl_slack_margin,
-        )
+        if partition:
+            from .partition import reduce_wirelength_partitioned
+
+            wirelength = reduce_wirelength_partitioned(
+                network, placement, max_gates=partition_max_gates,
+                max_passes=wl_passes, timing_engine=wl_timing,
+                slack_margin=wl_slack_margin, workers=workers,
+                library=library,
+            )
+        else:
+            wirelength = reduce_wirelength(
+                network, placement, max_passes=wl_passes,
+                batched=wl_batched, timing_engine=wl_timing,
+                slack_margin=wl_slack_margin,
+            )
         if wirelength.swaps_applied or wirelength.cross_swaps_applied:
             # the polish rewired nets after the optimizer's last STA:
             # re-time so the reported delay describes the returned

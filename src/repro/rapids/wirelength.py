@@ -424,30 +424,38 @@ def _pure_crosses(sgn) -> list[tuple[CrossSwap, list[tuple[Pin, str]]]]:
     return pure
 
 
-def _commit_batch(
+def _select_batch(
     network: Network,
     engine: WirelengthEngine,
-    sgn,
     pairs: list[tuple[str, Pin, Pin]],
     crosses: list[tuple[CrossSwap, list[tuple[Pin, str]]]],
     min_gain: float,
     gate: _TimingGate | None,
-) -> tuple[int, int]:
-    """Score every candidate, commit a maximal conflict-free subset.
+) -> list[tuple[int, object, object, frozenset[str]]]:
+    """Score every candidate, select a maximal conflict-free subset.
+
+    Read-only: pricing, slack projection and conflict resolution never
+    mutate the network, so a selection computed against a frozen
+    replica (a worker's snapshot rebuild) is bit-identical to one
+    computed against the live engine — the property the partitioned
+    pipeline's concurrent region evaluation rests on.
 
     Accepted moves may not share a net: each net's bounding box is
     then edited by at most one move, the priced deltas add exactly,
     and total HPWL drops by their sum.  Ties are broken by a
     deterministic canonical key (kind, supergate roots, pins).
 
-    With a timing *gate*, selection is two-phase and mutation-free
-    until the end: candidates are filtered by the batched frontier
-    slack projection, the survivors verified (in priced order) by the
-    exact full-cone projection, and conflict-freedom additionally
-    requires pairwise-disjoint timing neighborhoods (``touched``) so
-    the projected slacks of the accepted subset realize exactly.  All
-    accepted moves are then committed and the engine re-folds once,
-    with the drift fallback documented on :class:`_TimingGate`.
+    With a timing *gate*, selection is two-phase: candidates are
+    filtered by the batched frontier slack projection, the survivors
+    verified (in priced order) by the exact full-cone projection, and
+    conflict-freedom additionally requires pairwise-disjoint timing
+    neighborhoods (``touched``) so the projected slacks of the
+    accepted subset realize exactly.
+
+    Returns ``(kind, payload, projection, footprint)`` per accepted
+    move — everything :func:`_apply_batch` and the cross-region
+    committer need, and nothing tied to this process (pins, nets and
+    projections name gates/nets, so selections pickle across workers).
     """
     deltas = engine.score_swaps(
         [(pin_a, pin_b) for _, pin_a, pin_b in pairs]
@@ -479,7 +487,7 @@ def _commit_batch(
     )
     touched: set[str] = set()
     timing_touched: set[str] = set()
-    accepted: list[tuple[int, object, object]] = []
+    accepted: list[tuple[int, object, object, frozenset[str]]] = []
     for index, (_delta, kind, _key, footprint, payload, bindings) in (
         enumerate(candidates)
     ):
@@ -495,12 +503,27 @@ def _commit_batch(
             if projection.touched & timing_touched:
                 continue
             timing_touched |= projection.touched
-            accepted.append((kind, payload, projection))
+            accepted.append((kind, payload, projection, frozenset(footprint)))
         else:
-            accepted.append((kind, payload, None))
+            accepted.append((kind, payload, None, frozenset(footprint)))
         touched |= footprint
+    return accepted
+
+
+def _apply_batch(
+    network: Network,
+    sgn,
+    accepted: list[tuple[int, object, object, frozenset[str]]],
+) -> tuple[int, int]:
+    """Commit an accepted selection in order; returns (leaves, crosses).
+
+    The only mutation point of the batched path: everything upstream
+    (:func:`_select_batch`) is projection-only.  Callers that batch
+    multiple selections per timing refold (the partitioned round
+    committer) invoke ``gate.refold`` themselves.
+    """
     leaves = crossings = 0
-    for kind, payload, _projection in accepted:
+    for kind, payload, _projection, _footprint in accepted:
         if kind == 0:
             pin_a, pin_b = payload
             network.swap_fanins(pin_a, pin_b)
@@ -509,6 +532,25 @@ def _commit_batch(
             cross, _bindings = payload
             apply_cross_swap(network, sgn, cross)
             crossings += 1
+    return leaves, crossings
+
+
+def _commit_batch(
+    network: Network,
+    engine: WirelengthEngine,
+    sgn,
+    pairs: list[tuple[str, Pin, Pin]],
+    crosses: list[tuple[CrossSwap, list[tuple[Pin, str]]]],
+    min_gain: float,
+    gate: _TimingGate | None,
+) -> tuple[int, int]:
+    """One select + apply + refold iteration (see :func:`_select_batch`).
+
+    All accepted moves are committed and the engine re-folds once,
+    with the drift fallback documented on :class:`_TimingGate`.
+    """
+    accepted = _select_batch(network, engine, pairs, crosses, min_gain, gate)
+    leaves, crossings = _apply_batch(network, sgn, accepted)
     if gate is not None and accepted:
-        gate.refold([p for _, _, p in accepted if p is not None])
+        gate.refold([p for _, _, p, _ in accepted if p is not None])
     return leaves, crossings

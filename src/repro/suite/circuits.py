@@ -479,6 +479,99 @@ def random_control(
     return builder.build()
 
 
+def tiled_control(
+    tiles: int = 8,
+    gates_per_tile: int = 400,
+    inputs_per_tile: int = 24,
+    outputs_per_tile: int = 8,
+    stitch_width: int = 6,
+    seed: int = 17,
+    xor_fraction: float = 0.06,
+    max_depth: int = 24,
+    reuse: float = 0.4,
+    name: str = "tiled",
+) -> Network:
+    """Tile-composed control logic for the 1e5-1e6 gate workloads.
+
+    Real million-gate designs are not one amorphous cloud but many
+    moderately coupled blocks; this generator composes *tiles* blocks
+    of :func:`random_control`-style logic, each borrowing
+    *stitch_width* exported signals from the previous tile as extra
+    leaf inputs.  The sparse tile-to-tile stitching gives the FM
+    carve (``repro.place.regions``) natural min-cut seams, and tiles
+    are emitted in sequence so insertion-order placements (the grid
+    scaffolding benchmarks use) keep them spatially coherent — the
+    structure partitioned rewiring is designed to exploit.  Total
+    gate count is ``tiles * gates_per_tile``.
+
+    Every sink net (no fanout inside its tile, not stitched onward)
+    becomes a primary output — the flop-boundary convention of the
+    scan-mapped ISCAS sequential benchmarks — so the whole gate count
+    stays live through the mapper's dead-logic sweep; *outputs_per_tile*
+    only adds observation points on *internal* nets on top of that.
+    """
+    builder = NetworkBuilder(name)
+    rng = random.Random(seed)
+    weights = (
+        [GateType.NAND] * 24 + [GateType.NOR] * 18 + [GateType.AND] * 16
+        + [GateType.OR] * 16 + [GateType.INV] * 12
+        + [GateType.XOR] * max(1, int(100 * xor_fraction))
+        + [GateType.XNOR] * max(1, int(50 * xor_fraction))
+    )
+    exports: list[str] = []
+    for tile in range(tiles):
+        pis = [
+            builder.input(f"t{tile}x{i}") for i in range(inputs_per_tile)
+        ]
+        borrowed = exports[:stitch_width]
+        nets = pis + borrowed
+        level_of = {net: 0 for net in nets}
+        by_level: list[list[str]] = [list(nets)]
+        used: set[str] = set()
+        for _ in range(gates_per_tile):
+            gtype = rng.choice(weights)
+            if gtype in (GateType.INV, GateType.BUF):
+                arity = 1
+            else:
+                arity = rng.choice((2, 2, 2, 3, 3, 4))
+            target = rng.randint(1, max_depth)
+            top = min(target - 1, len(by_level) - 1)
+            fanins: list[str] = []
+            fanins.append(rng.choice(by_level[top]))
+            while len(fanins) < arity:
+                if rng.random() < reuse:
+                    candidate = rng.choice(nets)
+                else:
+                    lvl = rng.randint(0, top)
+                    candidate = rng.choice(by_level[lvl])
+                if level_of[candidate] > top or candidate in fanins:
+                    continue
+                fanins.append(candidate)
+            new_net = builder.gate(gtype, *fanins)
+            used.update(fanins)
+            nets.append(new_net)
+            level = 1 + max(level_of[f] for f in fanins)
+            level_of[new_net] = level
+            while len(by_level) <= level:
+                by_level.append([])
+            by_level[level].append(new_net)
+        internal = nets[len(pis) + len(borrowed):]
+        if internal:
+            for net in rng.sample(
+                internal, min(outputs_per_tile, len(internal))
+            ):
+                builder.output(net)
+                used.add(net)
+            exports = rng.sample(
+                internal, min(stitch_width, len(internal))
+            )
+            used.update(exports)
+            for net in internal:
+                if net not in used:
+                    builder.output(net)
+    return builder.build()
+
+
 def bus_interface(
     width: int = 16,
     control_gates: int = 300,

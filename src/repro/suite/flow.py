@@ -23,7 +23,7 @@ from ..synth.mapper import map_network, network_area
 from ..synth.strash import script_rugged
 from ..timing.sta import TimingEngine
 from .redundant import inject_redundant_wires
-from .registry import BenchmarkSpec, REGISTRY, configured_scale
+from .registry import BenchmarkSpec, configured_scale, resolve_benchmark
 
 
 @dataclass
@@ -50,6 +50,10 @@ class FlowConfig:
                                       # slack (False = HPWL-only objective)
     wl_slack_margin: float = 0.0      # guard band (ns) the slack gate
                                       # enforces; 0.0 = never degrade delay
+    partition: bool = False           # region-bounded wirelength polish:
+                                      # FM-carved regions with frozen
+                                      # boundary nets (repro.rapids.partition)
+    partition_max_gates: int = 2500   # region size cap for the carve
     anneal_moves: int | None = None  # None = auto (40 moves per gate)
     presize: bool = True              # timing-driven sizing before placement
 
@@ -164,6 +168,8 @@ def run_benchmark(
             wl_batched=config.wl_batched,
             wl_timing_aware=config.wl_timing_aware,
             wl_slack_margin=config.wl_slack_margin,
+            partition=config.partition,
+            partition_max_gates=config.partition_max_gates,
         )
     if all(mode in outcome.results for mode in MODES):
         outcome.row = build_row(
@@ -229,7 +235,4 @@ def trajectory_fingerprint(
 
 
 def _spec(name: str) -> BenchmarkSpec:
-    spec = REGISTRY.get(name)
-    if spec is None:
-        raise KeyError(f"unknown benchmark {name!r}")
-    return spec
+    return resolve_benchmark(name)

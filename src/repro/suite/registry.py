@@ -232,7 +232,47 @@ _SPECS: list[BenchmarkSpec] = [
     ),
 ]
 
-REGISTRY: dict[str, BenchmarkSpec] = {spec.name: spec for spec in _SPECS}
+def _synthetic_row(gates: int) -> PaperRow:
+    """Placeholder reference row: synthetic workloads have no Table 1
+    entry, only a target gate count at ``scale=1.0``."""
+    return PaperRow(gates, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0,
+                    0.0, 0.0, 0.0, 0, 0)
+
+
+#: Scale-out workloads for the partitioned flow (ROADMAP item 2):
+#: tile-composed control logic sized 1e5-1e6 gates at ``scale=1.0``.
+#: Both tile count and tile size grow with sqrt(scale), so the total
+#: gate count is linear in scale while the block structure the FM
+#: carve exploits is preserved at every size.  Kept out of
+#: :func:`benchmark_names` — Table 1 runs and the quick set never
+#: build them; ``rapids bench tiled100k --partition`` or the scaling
+#: benchmarks opt in explicitly.
+_SYNTH_SPECS: list[BenchmarkSpec] = [
+    BenchmarkSpec(
+        "tiled100k", "synthetic",
+        lambda s: circuits.tiled_control(
+            tiles=_sqrt_int(16, s), gates_per_tile=_sqrt_int(6250, s, 25),
+            inputs_per_tile=_sqrt_int(40, s, 8),
+            outputs_per_tile=_sqrt_int(12, s, 4),
+            seed=100, name="tiled100k",
+        ),
+        _synthetic_row(100_000),
+    ),
+    BenchmarkSpec(
+        "tiled1m", "synthetic",
+        lambda s: circuits.tiled_control(
+            tiles=_sqrt_int(32, s), gates_per_tile=_sqrt_int(31250, s, 25),
+            inputs_per_tile=_sqrt_int(56, s, 8),
+            outputs_per_tile=_sqrt_int(16, s, 4),
+            seed=1000, name="tiled1m",
+        ),
+        _synthetic_row(1_000_000),
+    ),
+]
+
+REGISTRY: dict[str, BenchmarkSpec] = {
+    spec.name: spec for spec in _SPECS + _SYNTH_SPECS
+}
 
 #: The paper's reported averages (bottom row of Table 1).
 PAPER_AVERAGES = {
@@ -246,15 +286,49 @@ PAPER_AVERAGES = {
 
 
 def benchmark_names() -> list[str]:
-    """All registered benchmark names, in Table 1 order."""
+    """The paper's benchmark names, in Table 1 order."""
     return [spec.name for spec in _SPECS]
+
+
+def synthetic_names() -> list[str]:
+    """Scale-out synthetic workloads (not part of the Table 1 run)."""
+    return [spec.name for spec in _SYNTH_SPECS]
+
+
+class UnknownBenchmarkError(KeyError):
+    """Raised for a benchmark name the registry does not know.
+
+    A ``KeyError`` subclass (the registry's historical contract) whose
+    message names the close matches and the full inventory instead of
+    just echoing the bad key.
+    """
+
+    def __init__(self, name: str) -> None:
+        import difflib
+
+        known = benchmark_names() + synthetic_names()
+        close = difflib.get_close_matches(name, known, n=3, cutoff=0.5)
+        hint = f"; did you mean {close}?" if close else ""
+        super().__init__(
+            f"unknown benchmark {name!r}{hint} registered: {known}"
+        )
+
+
+def resolve_benchmark(name: str) -> BenchmarkSpec:
+    """The registered spec for *name*, validated up front.
+
+    Every lookup path (``build_benchmark``, the flow, the CLI) goes
+    through here, so a typo fails immediately with the inventory and
+    a close-match suggestion instead of surfacing later as a bare
+    ``KeyError``.
+    """
+    spec = REGISTRY.get(name)
+    if spec is None:
+        raise UnknownBenchmarkError(name)
+    return spec
 
 
 def build_benchmark(name: str, scale: float | None = None) -> Network:
     """Generate a benchmark's generic (pre-mapping) network."""
-    spec = REGISTRY.get(name)
-    if spec is None:
-        raise KeyError(
-            f"unknown benchmark {name!r}; known: {benchmark_names()}"
-        )
+    spec = resolve_benchmark(name)
     return spec.build(scale if scale is not None else configured_scale())

@@ -65,6 +65,33 @@ def test_wide_networks_use_bdd_path():
     assert networks_equivalent(net, net.copy(), exhaustive_limit=4)
 
 
+def _buffered_and(direct: bool):
+    """AND of two inputs, with or without an intermediate buffer net."""
+    builder = NetworkBuilder()
+    a, b = builder.inputs(2)
+    if direct:
+        builder.output(builder.and_(a, b, name="f"))
+    else:
+        mid = builder.and_(a, b, name="mid")
+        builder.output(builder.buf(mid, name="f"))
+    return builder.build()
+
+
+def test_bdd_path_handles_nets_deleted_from_after():
+    # redundancy removal deletes whole nets: the clean-cone sweep must
+    # treat a net missing from *after* as dirty, not crash on lookup
+    before = _buffered_and(direct=False)
+    after = _buffered_and(direct=True)
+    assert "mid" not in after
+    assert networks_equivalent(before, after, exhaustive_limit=0)
+    assert networks_equivalent(after, before, exhaustive_limit=0)
+    from repro.network.gatetype import GateType
+
+    broken = _buffered_and(direct=True)
+    broken.set_gate_type("f", GateType.OR)
+    assert not networks_equivalent(before, broken, exhaustive_limit=0)
+
+
 # ----------------------------------------------------------------------
 # CLI
 # ----------------------------------------------------------------------
@@ -72,6 +99,13 @@ def test_cli_list(capsys):
     assert main(["list"]) == 0
     out = capsys.readouterr().out
     assert "alu2" in out and "s38417" in out
+
+
+def test_cli_unknown_benchmark_exits_cleanly(capsys):
+    assert main(["bench", "alu3"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown benchmark 'alu3'" in err
+    assert "alu2" in err
 
 
 def test_cli_bench_small(capsys, monkeypatch):

@@ -1,0 +1,137 @@
+"""Edge cases and determinism of the FM bipartitioner.
+
+``place.fm.bipartition`` used to be exercised only through the placer;
+the partitioned-rewiring carve (``place.regions``) now feeds it
+geometry-seeded initial partitions and degenerate sub-hypergraphs
+(single cells, empty nets, wildly skewed weights), so its corners get
+direct coverage here.  The hash-seed test mirrors
+``test_determinism.py``: FM tie-breaks must not follow set iteration
+order, or the carve — and the whole partitioned trajectory — would
+differ per process.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import subprocess
+import sys
+
+from repro.place.fm import FmResult, bipartition
+
+
+def _random_hypergraph(
+    seed: int, num_cells: int, num_nets: int, max_pins: int = 4
+) -> list[list[int]]:
+    rng = random.Random(seed)
+    nets = []
+    for _ in range(num_nets):
+        pins = rng.randint(2, max_pins)
+        nets.append(rng.sample(range(num_cells), min(pins, num_cells)))
+    return nets
+
+
+def _cut(nets: list[list[int]], side: list[int]) -> int:
+    return sum(
+        1 for net in nets
+        if net and any(side[c] != side[net[0]] for c in net)
+    )
+
+
+def test_empty_and_single_cell():
+    empty = bipartition(0, [])
+    assert empty.side == [] and empty.cut == 0
+    single = bipartition(1, [[0]])
+    assert single.side in ([0], [1])
+    assert single.cut == 0
+
+
+def test_two_cells_connected():
+    result = bipartition(2, [[0, 1]])
+    assert sorted(result.side) in ([0, 0], [0, 1], [1, 1])
+    assert result.cut == _cut([[0, 1]], result.side)
+
+
+def test_valid_partition_properties():
+    for seed in range(5):
+        nets = _random_hypergraph(seed, num_cells=30, num_nets=45)
+        result = bipartition(30, nets, seed=seed)
+        assert isinstance(result, FmResult)
+        assert len(result.side) == 30
+        assert set(result.side) <= {0, 1}
+        # the reported cut describes the returned partition
+        assert result.cut == _cut(nets, result.side)
+        assert 1 <= result.passes <= 8
+
+
+def test_balance_bound_respected():
+    nets = _random_hypergraph(7, num_cells=40, num_nets=60)
+    result = bipartition(40, nets, balance=0.55, seed=7)
+    heavy = max(result.side.count(0), result.side.count(1))
+    # classic FM slack: the ratio bound may be exceeded by one cell
+    assert heavy <= 0.55 * 40 + 1
+
+
+def test_balance_infeasible_weights_still_valid():
+    # one cell outweighs everything: no balanced split exists, but the
+    # result must still be a valid two-sided partition with a truthful
+    # cut (the max_side formula admits the giant on either side)
+    nets = [[0, 1], [1, 2], [2, 3], [3, 0]]
+    weights = [1000.0, 1.0, 1.0, 1.0]
+    result = bipartition(4, nets, weights=weights, seed=3)
+    assert len(result.side) == 4
+    assert set(result.side) <= {0, 1}
+    assert result.cut == _cut(nets, result.side)
+
+
+def test_initial_partition_skips_random_seed():
+    # with an explicit initial partition the RNG is never consulted:
+    # different seeds must produce identical refined partitions
+    nets = _random_hypergraph(11, num_cells=24, num_nets=36)
+    initial = [i % 2 for i in range(24)]
+    a = bipartition(24, nets, seed=1, initial=initial)
+    b = bipartition(24, nets, seed=999, initial=initial)
+    assert a.side == b.side
+    assert a.cut == b.cut
+
+
+def test_refinement_never_worse_than_initial():
+    nets = _random_hypergraph(13, num_cells=24, num_nets=36)
+    initial = [i % 2 for i in range(24)]
+    refined = bipartition(24, nets, initial=initial)
+    assert refined.cut <= _cut(nets, initial)
+
+
+_FM_FINGERPRINT_SCRIPT = """
+import random
+from repro.place.fm import bipartition
+
+rng = random.Random(5)
+nets = [rng.sample(range(60), rng.randint(2, 4)) for _ in range(90)]
+result = bipartition(60, nets, seed=5)
+print("".join(map(str, result.side)), result.cut)
+"""
+
+
+def _run_fm(hashseed: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hashseed
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    result = subprocess.run(
+        [sys.executable, "-c", _FM_FINGERPRINT_SCRIPT],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+        timeout=120,
+    )
+    return result.stdout.strip()
+
+
+def test_bipartition_independent_of_hash_seed():
+    outcomes = {seed: _run_fm(seed) for seed in ("1", "4242", "random")}
+    assert len(set(outcomes.values())) == 1, (
+        "FM partition depends on PYTHONHASHSEED: "
+        + ", ".join(f"{s}->{o}" for s, o in outcomes.items())
+    )

@@ -9,9 +9,11 @@ from repro.suite.redundant import inject_redundant_wires
 from repro.suite.registry import (
     PAPER_AVERAGES,
     REGISTRY,
+    UnknownBenchmarkError,
     benchmark_names,
     build_benchmark,
     configured_scale,
+    synthetic_names,
 )
 from repro.network.validate import check_network
 from repro.verify.equiv import networks_equivalent
@@ -128,6 +130,42 @@ def test_build_benchmark_scales():
     assert len(large) > len(small)
     with pytest.raises(KeyError):
         build_benchmark("nonesuch")
+
+
+def test_every_registered_benchmark_builds():
+    # registry round-trip: every entry's generator runs at tiny scale
+    # and yields a valid non-empty network whose name round-trips —
+    # a registry typo (bad parameter, renamed generator) fails here
+    # instead of deep inside a Table 1 run
+    for name in benchmark_names():
+        net = build_benchmark(name, scale=0.05)
+        check_network(net)
+        assert len(net) > 0, name
+        assert net.name == name
+    for name in synthetic_names():
+        net = build_benchmark(name, scale=0.01)
+        check_network(net)
+        assert len(net) > 0, name
+        assert net.name == name
+
+
+def test_synthetic_workloads_out_of_table1():
+    assert set(synthetic_names()) == {"tiled100k", "tiled1m"}
+    for name in synthetic_names():
+        assert name not in benchmark_names()
+        assert name in REGISTRY
+
+
+def test_unknown_benchmark_error_is_helpful():
+    with pytest.raises(UnknownBenchmarkError) as excinfo:
+        build_benchmark("alu3")
+    message = str(excinfo.value)
+    assert "alu3" in message
+    # close-match suggestion plus the full inventory
+    assert "alu2" in message and "alu4" in message
+    assert "tiled100k" in message
+    # the historical contract: still a KeyError
+    assert isinstance(excinfo.value, KeyError)
 
 
 def test_configured_scale_env(monkeypatch):
