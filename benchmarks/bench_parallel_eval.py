@@ -42,7 +42,7 @@ import time
 import pytest
 
 from repro.library.cells import default_library
-from repro.parallel import EvalPool, best_phase_move
+from repro.parallel import EvalPool, best_phase_move, faults
 from repro.parallel.snapshot import EvalSnapshotCodec
 from repro.rapids.engine import _gsg_gs_factory
 from repro.suite.flow import FlowConfig, prepare_benchmark
@@ -144,6 +144,37 @@ def test_sharded_evaluation_agrees_and_speeds_up(name, library):
         speedup=round(speedup, 3),
         workers=WORKERS,
     )
+
+
+def test_stale_recovery_upgrades_to_full_resend(library):
+    """A stale shard upgrades to one full-baseline resend (never a
+    silent inline downgrade): the ``stale_recoveries`` health counter
+    must tick exactly once and the selections still match the serial
+    reference bit for bit.  Workers inherit the fault plan from the
+    environment when they fork, so this uses its own pool spun up
+    under the plan (``_POOL``'s workers predate it)."""
+    outcome = prepare_benchmark(bench_names()[0], FlowConfig(), library)
+    engine = TimingEngine(outcome.network, outcome.placement, library)
+    engine.analyze()
+    sites = _gsg_gs_factory(library)(outcome.network, engine)
+    serial = [
+        best_phase_move(site, engine, library, "min", 1e-9)
+        for site in sites
+    ]
+    plan = {"worker": {0: {"action": "stale"}}}
+    with EvalPool(WORKERS, min_sites=1) as pool, faults.active(plan):
+        sharded = pool.evaluate(engine, library, sites, "min", 1e-9)
+        assert sharded == serial
+        assert pool.fallback_reason is None, pool.fallback_reason
+        assert pool.health.stale_recoveries == 1, (
+            "the stale shard was not recovered by a full-baseline resend"
+        )
+        assert pool.health.inline_fallbacks == 0
+        record_result(
+            "parallel_eval", "stale_recovery",
+            stale_recoveries=pool.health.stale_recoveries,
+            inline_fallbacks=pool.health.inline_fallbacks,
+        )
 
 
 def test_aggregate_speedup_floor():

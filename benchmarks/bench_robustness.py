@@ -1,0 +1,166 @@
+"""Robustness under injected faults: recovery cost, checkpoint overhead.
+
+The fault-tolerance PR's quantitative story.  The property tests
+(``tests/test_parallel_eval.py``, ``tests/test_checkpoint.py``) lock
+*correctness* — trajectories stay serial-identical under any injected
+failure pattern and a SIGTERMed checkpointed run resumes to the same
+fingerprint.  This bench records what that safety *costs*:
+
+* **recovery counters** — one shared :class:`repro.parallel.EvalPool`
+  is driven through the whole recovery ladder (a killed worker, a
+  stale delta, a worker exception) on a real quick-set circuit; every
+  batch must still match the serial selections, and the
+  :class:`~repro.parallel.pool.PoolHealth` counters show which rung
+  paid for it;
+* **checkpoint overhead** — an optimization run saving resume state at
+  every round boundary is timed against the serializing it does:
+  ``save_seconds / runtime`` must stay a small fraction (floor: under
+  half the run), and the checkpointed trajectory is asserted identical
+  to the unguarded one.
+
+Rows land in ``REPRO_BENCH_JSON`` (``BENCH_9.json`` in CI) under the
+``robustness`` key.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checkpoint import CheckpointManager
+from repro.parallel import EvalPool, best_phase_move, faults, shm
+from repro.rapids.engine import _gs_factory, _gsg_gs_factory
+from repro.sizing.coudert import optimize
+from repro.suite.flow import FlowConfig, prepare_benchmark
+from repro.timing.sta import TimingEngine
+
+from bench_helpers import QUICK_SET, record_result
+
+#: One circuit is enough: the ladder is exercised per batch, not per
+#: circuit, and the chaos property tests already sweep seeds.
+CIRCUIT = QUICK_SET[0]
+
+
+def test_recovery_ladder_counters(library):
+    """Each rung recovers its fault; the counters name the rung."""
+    outcome = prepare_benchmark(CIRCUIT, FlowConfig(), library)
+    engine = TimingEngine(outcome.network, outcome.placement, library)
+    engine.analyze()
+    sites = _gsg_gs_factory(library)(outcome.network, engine)
+    serial = [
+        best_phase_move(site, engine, library, "min", 1e-9)
+        for site in sites
+    ]
+    # one plan covering the whole session: workers inherit the fault
+    # plan from the environment when they fork, so the plan must be
+    # active before the pool spins up.  Submission tokens are the
+    # parent's monotonic counter; with 4 workers each batch submits 3
+    # remote shards (the parent keeps one), a rebuild resubmits all 3,
+    # a stale resend and an exception retry take one token each:
+    #   batch 1: 0,1,2  kill@0 -> rebuild resubmits as 3,4,5
+    #   batch 2: 6,7,8  stale@6 -> full resend as 9
+    #   batch 3: 10,11,12  exception@10 -> backoff retry as 13
+    plan = {"worker": {
+        0: {"action": "kill"},
+        6: {"action": "stale"},
+        10: {"action": "exception"},
+    }}
+    with EvalPool(4, min_sites=1) as pool, faults.active(plan):
+        for action in ("kill", "stale", "exception"):
+            got = pool.evaluate(engine, library, sites, "min", 1e-9)
+            assert got == serial, f"selections diverged under {action!r}"
+        assert pool.fallback_reason is None, pool.fallback_reason
+        health = pool.health.as_dict()
+    assert shm.registered_names() == []
+    assert health["pool_rebuilds"] >= 1       # the kill
+    assert health["stale_recoveries"] >= 1    # the stale delta
+    assert health["shard_retries"] >= 1       # the exception
+    print(
+        f"\nrecovery ladder on {CIRCUIT} ({len(sites)} sites/batch): "
+        + ", ".join(f"{key}={value}" for key, value in health.items())
+    )
+    record_result(
+        "robustness", "recovery_ladder",
+        circuit=CIRCUIT,
+        sites_per_batch=len(sites),
+        pool_recoveries=health["pool_rebuilds"],
+        stale_recoveries=health["stale_recoveries"],
+        shard_retries=health["shard_retries"],
+        worker_exceptions=health["worker_exceptions"],
+        inline_fallbacks=health["inline_fallbacks"],
+    )
+
+
+def test_checkpoint_overhead(library, tmp_path):
+    """Round-boundary checkpointing must cost a fraction of the run."""
+    outcome = prepare_benchmark(CIRCUIT, FlowConfig(), library)
+    network, placement = outcome.network, outcome.placement
+
+    net_plain, pl_plain = network.copy(), placement.copy()
+    plain = optimize(
+        net_plain, pl_plain, library, _gs_factory(library),
+        collect_log=True,
+    )
+
+    manager = CheckpointManager(str(tmp_path / "bench.ckpt"))
+    net_ckpt, pl_ckpt = network.copy(), placement.copy()
+    guarded = optimize(
+        net_ckpt, pl_ckpt, library, _gs_factory(library),
+        collect_log=True, checkpoint=manager,
+    )
+    # safety must be free of trajectory changes before it can be cheap
+    assert guarded.move_log == plain.move_log
+    assert guarded.final_delay == plain.final_delay
+    assert manager.saves >= 1
+
+    overhead = manager.save_seconds / max(guarded.runtime_seconds, 1e-9)
+    size = (tmp_path / "bench.ckpt").stat().st_size
+    print(
+        f"\ncheckpoint overhead on {CIRCUIT}: {manager.saves} saves, "
+        f"{manager.save_seconds:.3f}s of {guarded.runtime_seconds:.3f}s "
+        f"({100 * overhead:.1f}%), {size} B on disk"
+    )
+    record_result(
+        "robustness", "checkpoint_overhead",
+        circuit=CIRCUIT,
+        saves=manager.saves,
+        save_seconds=round(manager.save_seconds, 4),
+        runtime_seconds=round(guarded.runtime_seconds, 4),
+        checkpoint_overhead=round(overhead, 4),
+        checkpoint_bytes=size,
+    )
+    assert overhead < 0.5, (
+        f"checkpointing every round costs {100 * overhead:.0f}% of the "
+        f"run — the save path has regressed"
+    )
+
+
+def test_degraded_pool_still_finishes(library):
+    """The last rung as a bench row: rebuild budget exhausted, the run
+    completes inline with serial-identical selections."""
+    outcome = prepare_benchmark(CIRCUIT, FlowConfig(), library)
+    engine = TimingEngine(outcome.network, outcome.placement, library)
+    engine.analyze()
+    sites = _gsg_gs_factory(library)(outcome.network, engine)
+    serial = [
+        best_phase_move(site, engine, library, "min", 1e-9)
+        for site in sites
+    ]
+    plan = {"worker": {i: {"action": "kill"} for i in range(64)}}
+    with EvalPool(2, min_sites=1) as pool:
+        with faults.active(plan):
+            got = pool.evaluate(engine, library, sites, "min", 1e-9)
+        assert got == serial
+        assert not pool.active
+        health = pool.health.as_dict()
+    assert shm.registered_names() == []
+    record_result(
+        "robustness", "degraded_inline",
+        circuit=CIRCUIT,
+        pool_recoveries=health["pool_rebuilds"],
+        inline_fallbacks=health["inline_fallbacks"],
+        degraded=True,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(pytest.main([__file__, "-q", "-s"]))

@@ -1,0 +1,297 @@
+"""Run checkpoint/resume: crash-durable optimization state on disk.
+
+A killed process used to lose the whole optimization trajectory; this
+module makes long runs restartable without changing what they compute.
+:class:`CheckpointManager` owns one checkpoint file and a SIGTERM
+handler; the flow's loops call :meth:`CheckpointManager.boundary` at
+deterministic points (an optimization round, a partitioned-rewiring
+round) with a builder producing the resume payload.  On cadence — and
+always when a SIGTERM arrived since the last boundary — the payload is
+written atomically (temp file, fsync, ``os.replace``), and after an
+interrupt save :class:`RunInterrupted` unwinds the run so the caller
+can exit with :data:`CHECKPOINT_EXIT_CODE`.
+
+The payload formats are built from the exact serializations the
+parallel snapshot protocol already guarantees bit-exact
+(:func:`repro.parallel.snapshot.pack_state_columns` /
+:func:`state_from_columns`): a :class:`~repro.timing.sta.EvalState`
+carries the network, placement and the engine's *cached* analysis
+verbatim — never recomputed — so a resumed engine prices, commits and
+logs exactly what the uninterrupted run would have.  The same holds
+for resume itself: ``run_rapids(resume=True)`` replays no work, it
+grafts the saved state into the live objects
+(:func:`graft_state` / :func:`engine_from_state`) and re-enters the
+loop at the saved cursor, producing a final fingerprint identical to
+an uninterrupted run (``tests/test_checkpoint.py`` locks this).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+import time
+
+from .network.netlist import Gate, Network
+from .parallel import faults
+from .parallel.snapshot import pack_state_columns, state_from_columns
+from .place.placement import Placement
+from .timing.sta import EvalState, TimingEngine
+
+#: Exit status of a run stopped at a checkpoint (BSD ``EX_TEMPFAIL``:
+#: a temporary condition — rerun with ``--resume`` to continue).
+CHECKPOINT_EXIT_CODE = 75
+
+
+class RunInterrupted(RuntimeError):
+    """A SIGTERM arrived and the state was checkpointed; stop cleanly."""
+
+    def __init__(self, path: str, stage: str) -> None:
+        super().__init__(
+            f"run interrupted; state checkpointed to {path} "
+            f"(stage {stage!r}) — rerun with --resume to continue"
+        )
+        self.path = path
+        self.stage = stage
+
+
+class CheckpointManager:
+    """One run's checkpoint file, save cadence, and SIGTERM handling.
+
+    *every* is the boundary cadence (1 = save at every boundary).  The
+    SIGTERM handler only sets a flag; the actual save happens at the
+    next boundary, where the state is consistent by construction.
+    ``context`` entries (set by the orchestrator — benchmark name,
+    mode, flow knobs) ride along in every payload so resume can verify
+    it is continuing the same run.
+    """
+
+    def __init__(self, path: str, every: int = 1) -> None:
+        self.path = str(path)
+        self.every = max(1, int(every))
+        self.context: dict = {}
+        self.boundaries = 0
+        self.saves = 0
+        self.interrupted = False
+        #: cumulative seconds spent serializing + writing checkpoints
+        self.save_seconds = 0.0
+        self._previous_handler = None
+        self._installed = False
+
+    # ------------------------------------------------------------------
+    # signal lifecycle
+    # ------------------------------------------------------------------
+    def install(self) -> None:
+        """Route SIGTERM to the interrupt flag (main thread only)."""
+        if self._installed:
+            return
+        try:
+            self._previous_handler = signal.signal(
+                signal.SIGTERM, self._on_sigterm
+            )
+            self._installed = True
+        except ValueError:  # pragma: no cover - non-main thread
+            self._previous_handler = None
+
+    def uninstall(self) -> None:
+        """Restore the previous SIGTERM disposition (idempotent)."""
+        if not self._installed:
+            return
+        self._installed = False
+        try:
+            signal.signal(
+                signal.SIGTERM,
+                self._previous_handler
+                if self._previous_handler is not None
+                else signal.SIG_DFL,
+            )
+        except ValueError:  # pragma: no cover - non-main thread
+            pass
+
+    def _on_sigterm(self, signum, frame) -> None:
+        self.interrupted = True
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def load(self) -> dict | None:
+        """The saved payload, or ``None`` (missing/corrupt → run fresh)."""
+        try:
+            with open(self.path, "rb") as handle:
+                payload = pickle.load(handle)
+        except (OSError, EOFError, pickle.UnpicklingError, ValueError,
+                AttributeError, ImportError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def save(self, payload: dict) -> None:
+        """Atomically replace the checkpoint file with *payload*.
+
+        Write-to-temp + fsync + ``os.replace`` means a crash mid-save
+        leaves the previous checkpoint intact — the file on disk is
+        always a complete, loadable payload.
+        """
+        started = time.perf_counter()
+        tmp = f"{self.path}.tmp.{os.getpid()}"
+        with open(tmp, "wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+        self.saves += 1
+        self.save_seconds += time.perf_counter() - started
+
+    def boundary(self, stage: str, builder, force: bool = False) -> None:
+        """One deterministic save point inside a flow loop.
+
+        *builder* is called only when a save is due (cadence, *force*,
+        or a pending interrupt) and returns the resume payload for
+        *stage*; ``stage`` and the manager ``context`` are merged in.
+        After an interrupt-triggered save, raises :class:`RunInterrupted`
+        to unwind the run.  Fault plans key the ``checkpoint_round``
+        injection point on the boundary counter.
+        """
+        self.boundaries += 1
+        action = faults.checkpoint_fault(self.boundaries)
+        if action == "sigterm":
+            # raise_signal delivery lands at an interpreter checkpoint;
+            # set the flag directly so the injected interrupt is
+            # deterministic regardless of delivery timing
+            self.interrupted = True
+        if force or self.interrupted or self.boundaries % self.every == 0:
+            payload = dict(builder())
+            payload["stage"] = stage
+            payload.update(self.context)
+            self.save(payload)
+        if self.interrupted:
+            raise RunInterrupted(self.path, stage)
+
+
+# ----------------------------------------------------------------------
+# state packing (array columns when possible, pickled graph otherwise)
+# ----------------------------------------------------------------------
+
+def pack_eval_state(state: EvalState) -> dict:
+    """*state* as a checkpoint payload entry.
+
+    Prefers the SoA column layout (compact, and its bit-exactness is
+    already locked by the snapshot protocol's tests); states the packer
+    cannot express fall back to the pickled object graph.
+    """
+    columns = pack_state_columns(state)
+    if columns is None:
+        return {"kind": "pickle", "state": state}
+    blocks, header = columns
+    return {
+        "kind": "soa",
+        "arrays": {name: array for name, array in blocks},
+        "header": header,
+    }
+
+
+def unpack_eval_state(packed: dict) -> EvalState:
+    """Inverse of :func:`pack_eval_state`.
+
+    The returned state is exclusively owned by the caller (checkpoint
+    payloads round-trip through pickle), so its network and dicts may
+    be adopted without copying.
+    """
+    if packed["kind"] == "soa":
+        return state_from_columns(packed["arrays"], packed["header"])
+    return packed["state"]
+
+
+def pack_network(network: Network, placement: Placement) -> dict:
+    """Network + placement only (no analysis) as a payload entry.
+
+    Rides the same column layout by wrapping them in an
+    :class:`EvalState` with empty analysis dicts — used for best-seen
+    snapshots and the inter-stage handoff, where no engine caches need
+    to survive.
+    """
+    return pack_eval_state(EvalState(
+        network=network,
+        placement=placement,
+        library=None,
+        period=None,
+        po_pad_cap=0.0,
+        arrival={},
+        slack={},
+        stars={},
+        levels={},
+        req0={},
+        max_delay=0.0,
+        version=network.version,
+    ))
+
+
+def graft_state(state: EvalState, network: Network,
+                placement: Placement) -> None:
+    """Adopt *state*'s network and placement into the live objects.
+
+    The flow's other components (site factories, supergate caches,
+    result reporting) hold references to the caller's *network* and
+    *placement*, so resume must restore content *into* them rather
+    than swap objects.  No mutation events are emitted — callers graft
+    before any listener subscribes (engines and caches are built after
+    resume) — and the derived-structure caches are reset by hand.
+    """
+    source = state.network
+    network.name = source.name
+    network.inputs = list(source.inputs)
+    network._input_set = set(source._input_set)
+    network.outputs = list(source.outputs)
+    network._gates = {
+        name: Gate(
+            name=gate.name, gtype=gate.gtype,
+            fanins=list(gate.fanins), cell=gate.cell,
+        )
+        for name, gate in source._gates.items()
+    }
+    network.version = state.version
+    network._fanout_cache = None
+    network._fanout_version = -1
+    network._po_count_cache = None
+    network._po_count_version = -1
+    network._topo_cache = None
+    network._topo_version = -1
+    saved = state.placement
+    placement.die_width = saved.die_width
+    placement.die_height = saved.die_height
+    placement.locations = dict(saved.locations)
+    placement.input_pads = dict(saved.input_pads)
+    placement.output_pads = dict(saved.output_pads)
+
+
+def engine_from_state(
+    state: EvalState,
+    network: Network,
+    placement: Placement,
+    library,
+) -> TimingEngine:
+    """Grafted live objects plus an engine resuming *state*'s analysis.
+
+    Mirrors :meth:`TimingEngine.from_eval_state` — the cached dicts are
+    adopted in their recorded iteration order, no analysis runs — but
+    binds the engine to the caller's live *network*/*placement*/
+    *library* so the rest of the run sees one consistent object graph.
+    The engine prices and commits bit-identically to the engine the
+    interrupted run would have carried into the same round.
+    """
+    graft_state(state, network, placement)
+    engine = TimingEngine(
+        network, placement, library,
+        period=state.period, po_pad_cap=state.po_pad_cap,
+    )
+    engine.arrival = dict(state.arrival)
+    engine.slack = dict(state.slack)
+    engine.stars = dict(state.stars)
+    engine._levels = dict(state.levels)
+    engine._req0 = dict(state.req0)
+    engine.max_delay = state.max_delay
+    engine._target = (
+        state.period if state.period is not None else state.max_delay
+    )
+    engine._analyzed_version = state.version
+    engine._needs_full = False
+    return engine

@@ -14,6 +14,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .checkpoint import CHECKPOINT_EXIT_CODE, RunInterrupted
 from .rapids.report import Table1Row, averages
 from .suite.flow import FlowConfig, run_benchmark, run_suite
 from .suite.registry import (
@@ -54,6 +55,9 @@ def _cmd_table1(args: argparse.Namespace) -> int:
         wl_slack_margin=args.wl_slack_margin,
         partition=args.partition,
         partition_max_gates=args.partition_max_gates,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+        checkpoint_every=args.checkpoint_every,
     )
     names = args.names or benchmark_names()
     print(Table1Row.HEADER)
@@ -97,6 +101,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         wl_slack_margin=args.wl_slack_margin,
         partition=args.partition,
         partition_max_gates=args.partition_max_gates,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+        checkpoint_every=args.checkpoint_every,
     )
     outcome = run_benchmark(args.name, config)
     print(f"benchmark {args.name} (scale {outcome.scale})")
@@ -234,6 +241,24 @@ def main(argv: list[str] | None = None) -> int:
                  "enough for one region reproduces the unpartitioned "
                  "trajectory bit-for-bit (default: 2500)",
         )
+        p.add_argument(
+            "--checkpoint", default=None, metavar="PATH",
+            help="save resume state to PATH.<mode> at flow boundaries "
+                 "and on SIGTERM; an interrupted run exits with status "
+                 "75 (EX_TEMPFAIL) after a clean save (default: off)",
+        )
+        p.add_argument(
+            "--resume", action="store_true",
+            help="reload --checkpoint files and continue interrupted "
+                 "runs from the saved cursor; the finished run is "
+                 "bit-identical to an uninterrupted one (missing "
+                 "checkpoints just run fresh)",
+        )
+        p.add_argument(
+            "--checkpoint-every", type=int, default=1, metavar="N",
+            help="save only every N-th flow boundary (SIGTERM always "
+                 "saves at the next boundary; default: 1)",
+        )
 
     p_table = sub.add_parser("table1", help="reproduce Table 1")
     p_table.add_argument("names", nargs="*", help="subset of benchmarks")
@@ -262,6 +287,9 @@ def main(argv: list[str] | None = None) -> int:
     except UnknownBenchmarkError as exc:
         print(f"rapids: {exc.args[0]}", file=sys.stderr)
         return 2
+    except RunInterrupted as exc:
+        print(f"rapids: {exc}", file=sys.stderr)
+        return CHECKPOINT_EXIT_CODE
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -63,3 +63,19 @@ def worker_entry(func: _F) -> _F:
     """
     func.__worker_entry__ = True
     return func
+
+
+def fault_hook(func: _F) -> _F:
+    """Declare that *func* is a fault-injection hook
+    (:mod:`repro.parallel.faults`).
+
+    Fault hooks are deterministic, env-gated shims: they read the
+    ``REPRO_FAULT_PLAN`` environment payload, key every decision on an
+    explicit submission index, and do nothing when no plan is set.
+    The worker-global rule exempts their bodies — the parsed-plan
+    cache they keep is keyed by the immutable env payload, so it can
+    never leak state between batches or sessions — without a waiver,
+    keeping the waiver inventory an honest work list.
+    """
+    func.__fault_hook__ = True
+    return func

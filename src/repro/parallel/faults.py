@@ -1,0 +1,177 @@
+"""Deterministic fault injection for the supervised parallel path.
+
+The recovery ladder in :class:`~repro.parallel.pool.EvalPool` (retry →
+rebuild pool + resend full baseline → inline) is only trustworthy if
+every rung is exercised on demand.  This module injects failures at
+the exact points real ones occur, gated by a :class:`FaultPlan`
+carried in the ``REPRO_FAULT_PLAN`` environment variable (JSON —
+forked workers inherit it, spawn workers receive it through the
+inherited environment):
+
+* ``worker``           — fires at worker-task entry, keyed by the
+  parent-assigned submission index: ``kill`` (``os._exit``, the
+  BrokenProcessPool path), ``exception`` (:class:`FaultInjected`, the
+  retry path), ``delay`` (sleep ``seconds``, the timeout path),
+  ``stale`` (report the shard stale, the resend path);
+* ``shm_attach`` / ``corrupt_delta`` — fire inside snapshot decode,
+  simulating a retired shared-memory block or an unusable delta (both
+  surface as a stale shard, which the ladder recovers by resending
+  the full baseline);
+* ``checkpoint_round`` — fires at checkpoint boundaries, keyed by the
+  boundary counter: ``sigterm`` raises the real signal so the
+  graceful save-and-stop path is tested end to end.
+
+Every decision is a pure function of (env payload, explicit index),
+so a fixed plan plus a fixed trajectory reproduces the same failure
+pattern run after run — the property tests rest on that.  With no
+plan set every hook is a cheap no-op.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+
+from ..contracts import fault_hook
+
+#: Environment variable carrying the JSON-encoded plan.
+ENV_VAR = "REPRO_FAULT_PLAN"
+
+
+class FaultInjected(RuntimeError):
+    """Raised inside a worker by the ``exception`` fault action."""
+
+
+class FaultPlan:
+    """Mapping of injection point → submission index → action spec."""
+
+    def __init__(self, entries: dict) -> None:
+        self.entries = {
+            str(point): {int(index): dict(spec) for index, spec in table.items()}
+            for point, table in entries.items()
+        }
+
+    def get(self, point: str, index: int) -> dict | None:
+        return self.entries.get(point, {}).get(index)
+
+    def to_env(self) -> str:
+        return json.dumps(
+            {
+                point: {str(index): spec for index, spec in table.items()}
+                for point, table in self.entries.items()
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_env(cls, text: str) -> "FaultPlan":
+        return cls(json.loads(text))
+
+
+def install(plan: "FaultPlan | dict | None") -> None:
+    """Set (or, with ``None``, clear) the process-wide plan."""
+    if plan is None:
+        os.environ.pop(ENV_VAR, None)
+        return
+    if isinstance(plan, dict):
+        plan = FaultPlan(plan)
+    os.environ[ENV_VAR] = plan.to_env()
+
+
+class active:
+    """Context manager scoping a plan to a ``with`` block (tests)."""
+
+    def __init__(self, plan: "FaultPlan | dict | None") -> None:
+        self.plan = plan
+        self._previous: str | None = None
+
+    def __enter__(self) -> "active":
+        self._previous = os.environ.get(ENV_VAR)
+        install(self.plan)
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        if self._previous is None:
+            os.environ.pop(ENV_VAR, None)
+        else:
+            os.environ[ENV_VAR] = self._previous
+
+
+#: Parsed plans keyed by their (immutable) env payload — parsing a
+#: multi-kilobyte JSON once per worker task would dominate the no-op
+#: cost.  Exempt from the worker-global rule via ``@fault_hook``: the
+#: cache is a pure function of its key, so it cannot carry state
+#: between batches or sessions.
+_PLAN_CACHE: dict[str, FaultPlan] = {}
+
+
+@fault_hook
+def _plan() -> FaultPlan | None:
+    text = os.environ.get(ENV_VAR)
+    if not text:
+        return None
+    plan = _PLAN_CACHE.get(text)
+    if plan is None:
+        try:
+            plan = FaultPlan.from_env(text)
+        except (ValueError, TypeError):
+            return None
+        _PLAN_CACHE[text] = plan
+    return plan
+
+
+@fault_hook
+def spec(point: str, index: int) -> dict | None:
+    """The action planned for (*point*, *index*), or ``None``."""
+    plan = _plan()
+    if plan is None:
+        return None
+    return plan.get(point, index)
+
+
+@fault_hook
+def worker_fault(index: int) -> str | None:
+    """Execute the ``worker``-point fault for submission *index*.
+
+    Returns ``"stale"`` when the entry should report its shard stale;
+    ``kill`` never returns and ``exception`` raises.
+    """
+    action = spec("worker", index)
+    if action is None:
+        return None
+    kind = action.get("action")
+    if kind == "kill":
+        os._exit(1)
+    if kind == "exception":
+        raise FaultInjected(f"injected worker exception (submission {index})")
+    if kind == "delay":
+        time.sleep(float(action.get("seconds", 0.5)))
+        return None
+    if kind == "stale":
+        return "stale"
+    return None
+
+
+@fault_hook
+def decode_fault(point: str, index: int) -> bool:
+    """True when snapshot decode should fail at *point* (→ stale shard)."""
+    return index >= 0 and spec(point, index) is not None
+
+
+def checkpoint_fault(index: int) -> str | None:
+    """Parent-side hook at checkpoint boundary *index*.
+
+    ``sigterm`` raises the real signal (the manager's handler — or the
+    default one, killing the process — receives it) and returns the
+    action name so callers can make the interrupt flag deterministic
+    regardless of delivery timing.
+    """
+    action = spec("checkpoint_round", index)
+    if action is None:
+        return None
+    kind = action.get("action")
+    if kind == "sigterm":
+        signal.raise_signal(signal.SIGTERM)
+    return kind

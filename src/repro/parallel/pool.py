@@ -13,19 +13,49 @@ candidate list — and therefore the applied-move trajectory — is
 bit-identical to the serial path regardless of worker count, shard
 boundaries or completion order.
 
-Degradation is silent but visible: when process pools are unavailable
-(restricted sandboxes, missing ``fork``/``spawn``) or a pool breaks
-mid-run, the pool permanently falls back to in-process evaluation and
-records why in :attr:`EvalPool.fallback_reason`.  Results are identical
-either way — only wall time changes.
+Failures are supervised, not fatal.  Each shard submission carries a
+timeout and walks a recovery ladder before the pool gives anything up:
+
+1. **retry** — a worker-raised exception resubmits the shard to the
+   same pool with exponential backoff, up to ``max_shard_retries``;
+2. **rebuild** — a broken pool (killed worker → ``BrokenProcessPool``)
+   or a shard timeout tears the executor down, starts a fresh one, and
+   resends the *full* baseline with every still-pending shard (new
+   processes have no cached snapshot), up to ``max_pool_rebuilds``
+   times per pool lifetime;
+3. **inline** — only the shard that exhausted its budget is evaluated
+   by the parent against the live engine; the batch's other shards
+   stay parallel.
+
+A worker reporting ``("stale", None)`` (it missed the baseline
+shipment) gets one full-baseline resend before the parent falls back
+to inline for that shard.  Every rung is recorded in the structured
+:class:`PoolHealth` counters; only when the rebuild budget is spent
+does the pool degrade permanently (``health.degraded_reason``, still
+readable as :attr:`EvalPool.fallback_reason`).  Because the merge is
+site-order-deterministic and every recovery path scores the exact same
+candidates, results are bit-identical to serial under any failure
+pattern — only wall time changes.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
-from typing import TYPE_CHECKING, Sequence
+import os
+import time
+from concurrent.futures import (
+    BrokenExecutor,
+    CancelledError,
+    Executor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from ..contracts import worker_entry
+from . import faults, shm
 from .evaluate import (
     Selection,
     evaluate_shard,
@@ -39,6 +69,14 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from ..sizing.coudert import Site
     from ..timing.sta import TimingEngine
 
+#: Default per-shard collection timeout (seconds); override with the
+#: ``REPRO_SHARD_TIMEOUT`` environment variable or the constructor.
+#: Generous on purpose — a timeout escalates straight to a pool
+#: rebuild, so false positives are expensive.
+DEFAULT_SHARD_TIMEOUT = 600.0
+
+_SWEPT_STALE = False
+
 
 @worker_entry
 def _evaluate_in_worker(
@@ -46,6 +84,7 @@ def _evaluate_in_worker(
     shard: list[tuple[int, "Site"]],
     metric: str,
     epsilon: float,
+    fault_token: int = -1,
 ) -> tuple[str, list[tuple[int, Selection | None]] | None]:
     """Worker entry point: rebuild the engine, evaluate one shard.
 
@@ -55,15 +94,67 @@ def _evaluate_in_worker(
     process caches, or a delta against a cached baseline (see
     :mod:`repro.parallel.snapshot`).  Returns ``("stale", None)`` when
     the delta references a baseline this process never received; the
-    parent then evaluates the shard itself.
+    parent then resends the full baseline once before going inline.
+
+    *fault_token* is the parent's submission index for this attempt —
+    the deterministic key a :class:`~repro.parallel.faults.FaultPlan`
+    uses to kill, delay, or stale exactly this execution.
     """
     from ..timing.sta import TimingEngine
 
-    state = _decode_snapshot(payload)
+    if faults.worker_fault(fault_token) == "stale":
+        return ("stale", None)
+    state = _decode_snapshot(payload, fault_token)
     if state is None:
         return ("stale", None)
     engine = TimingEngine.from_eval_state(state)
     return ("ok", evaluate_shard(engine, state.library, shard, metric, epsilon))
+
+
+@dataclass
+class PoolHealth:
+    """Structured recovery-ladder accounting for one :class:`EvalPool`.
+
+    Replaces the old one-shot ``fallback_reason``: every rung of the
+    ladder is counted, and only ``degraded_reason`` (the rebuild
+    budget ran out, or sharded evaluation itself raised) is terminal.
+    """
+
+    shard_retries: int = 0
+    shard_timeouts: int = 0
+    worker_exceptions: int = 0
+    pool_rebuilds: int = 0
+    inline_fallbacks: int = 0
+    stale_recoveries: int = 0
+    teardown_errors: int = 0
+    degraded_reason: str | None = None
+
+    def as_dict(self) -> dict:
+        return {
+            "shard_retries": self.shard_retries,
+            "shard_timeouts": self.shard_timeouts,
+            "worker_exceptions": self.worker_exceptions,
+            "pool_rebuilds": self.pool_rebuilds,
+            "inline_fallbacks": self.inline_fallbacks,
+            "stale_recoveries": self.stale_recoveries,
+            "teardown_errors": self.teardown_errors,
+            "degraded_reason": self.degraded_reason,
+        }
+
+
+@dataclass
+class _ShardBatch:
+    """In-flight bookkeeping for one supervised shard fan-out."""
+
+    entry: Callable
+    shards: list
+    extra: tuple
+    encode: Callable[[], bytes]
+    payload: bytes
+    #: shard position → outstanding future (removed once collected)
+    pending: dict[int, Future] = field(default_factory=dict)
+    #: positions that already consumed their one stale resend
+    resent: set[int] = field(default_factory=set)
 
 
 class EvalPool:
@@ -82,7 +173,12 @@ class EvalPool:
     * ``"serial"``  — no executor at all, evaluation stays inline.
 
     Evaluation batches smaller than *min_sites* stay inline too: below
-    that, snapshot serialization costs more than it saves.
+    that, snapshot serialization costs more than it saves.  The
+    remaining knobs bound the recovery ladder (module docstring):
+    *shard_timeout* seconds per shard collection, *max_shard_retries*
+    same-pool resubmissions of an excepting shard, *max_pool_rebuilds*
+    executor resurrections per pool lifetime, *retry_backoff* the base
+    of the exponential retry sleep.
     """
 
     def __init__(
@@ -90,6 +186,10 @@ class EvalPool:
         workers: int,
         backend: str = "process",
         min_sites: int | None = None,
+        shard_timeout: float | None = None,
+        max_shard_retries: int = 2,
+        max_pool_rebuilds: int = 2,
+        retry_backoff: float = 0.05,
     ) -> None:
         if backend not in ("process", "thread", "serial"):
             raise ValueError(f"unknown pool backend {backend!r}")
@@ -98,7 +198,15 @@ class EvalPool:
         self.min_sites = (
             min_sites if min_sites is not None else 2 * self.workers
         )
-        self.fallback_reason: str | None = None
+        if shard_timeout is None:
+            text = os.environ.get("REPRO_SHARD_TIMEOUT")
+            shard_timeout = float(text) if text else DEFAULT_SHARD_TIMEOUT
+        self.shard_timeout = shard_timeout
+        self.max_shard_retries = max(0, int(max_shard_retries))
+        self.max_pool_rebuilds = max(0, int(max_pool_rebuilds))
+        self.retry_backoff = max(0.0, float(retry_backoff))
+        #: recovery-ladder counters (see :class:`PoolHealth`)
+        self.health = PoolHealth()
         #: counters for benchmarks and tests
         self.parallel_batches = 0
         self.inline_batches = 0
@@ -107,6 +215,14 @@ class EvalPool:
         #: ``stats`` record full/delta payload sizes and stale retries
         self.snapshot = EvalSnapshotCodec()
         self._executor: Executor | None = None
+        self._submission_index = 0
+        # reap /dev/shm segments of dead runs once per process: the
+        # first pool of a run is the natural janitor slot (cheap listdir
+        # when there is nothing to do)
+        global _SWEPT_STALE
+        if not _SWEPT_STALE:
+            _SWEPT_STALE = True
+            shm.sweep_stale_segments()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -114,7 +230,12 @@ class EvalPool:
     @property
     def active(self) -> bool:
         """True while sharded evaluation is still on the table."""
-        return self.backend != "serial" and self.fallback_reason is None
+        return self.backend != "serial" and self.health.degraded_reason is None
+
+    @property
+    def fallback_reason(self) -> str | None:
+        """Terminal degradation reason (compatibility view of health)."""
+        return self.health.degraded_reason
 
     def _ensure_executor(self) -> Executor:
         if self._executor is None:
@@ -132,15 +253,27 @@ class EvalPool:
                 )
         return self._executor
 
-    def close(self) -> None:
-        """Shut the executor down (idempotent)."""
+    def _shutdown_executor(self, wait: bool) -> None:
+        """Tear the executor down; errors become health counters."""
         executor = self._executor
         self._executor = None
-        if executor is not None:
-            executor.shutdown(wait=True, cancel_futures=True)
-        # release the parent-held shared-memory baseline block; the
-        # codec's stats stay readable (benchmarks assert on them after
-        # the pool closes)
+        if executor is None:
+            return
+        try:
+            executor.shutdown(wait=wait, cancel_futures=True)
+        except Exception:
+            self.health.teardown_errors += 1
+
+    def close(self) -> None:
+        """Shut the executor down and release shm (idempotent).
+
+        Teardown failures are recorded in ``health.teardown_errors``
+        instead of silently swallowed, and the snapshot codec's shared
+        baseline block is always released through the segment registry.
+        The codec's stats and the health counters stay readable —
+        benchmarks assert on them after the pool closes.
+        """
+        self._shutdown_executor(wait=True)
         self.snapshot.close()
 
     def __enter__(self) -> "EvalPool":
@@ -150,11 +283,140 @@ class EvalPool:
         self.close()
 
     def _degrade(self, reason: str) -> None:
-        self.fallback_reason = reason
-        try:
-            self.close()
-        except Exception:  # pragma: no cover - best-effort teardown
-            pass
+        """Give up on parallelism for the rest of the run.
+
+        Keeps the *first* reason (later failures are consequences of
+        the same outage) and tears down without waiting — a hung
+        worker is a likely cause, and blocking on it would stall the
+        optimizer the ladder just saved.
+        """
+        if self.health.degraded_reason is None:
+            self.health.degraded_reason = reason
+        self._shutdown_executor(wait=False)
+        self.snapshot.close()
+
+    # ------------------------------------------------------------------
+    # supervised shard fan-out (shared with RegionEvalSession)
+    # ------------------------------------------------------------------
+    def start_shards(
+        self,
+        entry: Callable,
+        shards: list,
+        extra: tuple,
+        encode: Callable[[], bytes],
+    ) -> _ShardBatch:
+        """Submit every shard to the executor under supervision.
+
+        *entry* is a worker entry point taking ``(payload, shard,
+        *extra, fault_token=...)``; *encode* produces a payload from
+        the live engine (called again on resend/rebuild, when it must
+        yield a fresh full baseline).  Collect with
+        :meth:`finish_shards` — between the two calls the parent is
+        free to evaluate its own local shard.
+        """
+        self._ensure_executor()
+        payload = encode()
+        batch = _ShardBatch(
+            entry=entry, shards=list(shards), extra=tuple(extra),
+            encode=encode, payload=payload,
+        )
+        for position, shard in enumerate(batch.shards):
+            batch.pending[position] = self._submit(batch, shard)
+        return batch
+
+    def finish_shards(
+        self, batch: _ShardBatch, inline_shard: Callable
+    ) -> list:
+        """Collect every shard's result, walking the recovery ladder.
+
+        Results come back in shard-submission order; *inline_shard* is
+        the parent-side fallback evaluator (rung 3) returning the same
+        shape as a worker's ``("ok", results)`` payload.
+        """
+        return [
+            self._collect(batch, position, inline_shard)
+            for position in range(len(batch.shards))
+        ]
+
+    def _submit(self, batch: _ShardBatch, shard) -> Future:
+        index = self._submission_index
+        self._submission_index += 1
+        executor = self._ensure_executor()
+        return executor.submit(
+            batch.entry, batch.payload, shard, *batch.extra,
+            fault_token=index,
+        )
+
+    def _collect(
+        self, batch: _ShardBatch, position: int, inline_shard: Callable
+    ):
+        shard = batch.shards[position]
+        attempts = 0
+        while True:
+            future = batch.pending.get(position)
+            if future is None or not self.active:
+                break
+            try:
+                status, results = future.result(timeout=self.shard_timeout)
+            except FuturesTimeoutError:
+                # the task may be hung; retrying on the same pool would
+                # queue behind it — escalate straight to a rebuild
+                self.health.shard_timeouts += 1
+                if not self._rebuild(batch):
+                    break
+                continue
+            except (BrokenExecutor, CancelledError):
+                if not self._rebuild(batch):
+                    break
+                continue
+            except Exception:
+                self.health.worker_exceptions += 1
+                attempts += 1
+                if attempts > self.max_shard_retries:
+                    break
+                self.health.shard_retries += 1
+                time.sleep(self.retry_backoff * (2 ** (attempts - 1)))
+                batch.pending[position] = self._submit(batch, shard)
+                continue
+            if status == "stale":
+                self.snapshot.stats.stale_shards += 1
+                # any cached baseline in that process is unusable;
+                # force the next encode to ship a full snapshot
+                self.snapshot.invalidate()
+                if position in batch.resent:
+                    break
+                batch.resent.add(position)
+                batch.payload = batch.encode()
+                batch.pending[position] = self._submit(batch, shard)
+                continue
+            batch.pending.pop(position, None)
+            if position in batch.resent:
+                self.health.stale_recoveries += 1
+            return results
+        batch.pending.pop(position, None)
+        self.health.inline_fallbacks += 1
+        return inline_shard(shard)
+
+    def _rebuild(self, batch: _ShardBatch) -> bool:
+        """Rung 2: resurrect the executor, resend all pending shards.
+
+        The fresh processes have no cached baseline, so the payload is
+        re-encoded as a full snapshot before resubmission.  False once
+        the rebuild budget is spent — the pool degrades and the caller
+        falls back inline.
+        """
+        if self.health.pool_rebuilds >= self.max_pool_rebuilds:
+            self._degrade("pool rebuild budget exhausted")
+            return False
+        self.health.pool_rebuilds += 1
+        self._shutdown_executor(wait=False)
+        self.snapshot.invalidate()
+        batch.payload = batch.encode()
+        for position in sorted(batch.pending):
+            batch.pending[position] = self._submit(
+                batch, batch.shards[position]
+            )
+        return True
 
     # ------------------------------------------------------------------
     # evaluation
@@ -190,8 +452,9 @@ class EvalPool:
                 engine, library, sites, metric, epsilon
             )
         except Exception as error:
-            # a broken pool (killed worker, unpicklable payload, sandbox
-            # without process support) must never kill the optimizer:
+            # the supervisor handles worker/pool failures internally;
+            # anything escaping it (encode failure, sandbox without
+            # process support) must still never kill the optimizer:
             # finish this and every later batch inline
             self._degrade(f"{type(error).__name__}: {error}")
             return inline()
@@ -207,7 +470,6 @@ class EvalPool:
         metric: str,
         epsilon: float,
     ) -> list[Selection | None]:
-        executor = self._ensure_executor()
         shards = shard_sites(sites, self.workers)
         # the parent keeps the first shard for itself: while workers
         # chew on their replicas it scores its share against the live
@@ -218,6 +480,7 @@ class EvalPool:
         if self.backend == "thread":
             # threads share the parent's address space: hand them the
             # live engine instead of a serialized replica
+            executor = self._ensure_executor()
             futures = [
                 executor.submit(
                     evaluate_shard, engine, library, shard, metric, epsilon
@@ -231,40 +494,28 @@ class EvalPool:
                 future.result() for future in futures
             ]
             return merge_selections(len(sites), shard_results)
+        batch = None
         if remote_shards:
             # full baseline on the first batch of a session, a
             # cumulative delta against it afterwards — see
             # repro.parallel.snapshot for the contract
-            payload = self.snapshot.encode(engine)
-            futures = [
-                (shard, executor.submit(
-                    _evaluate_in_worker, payload, shard, metric, epsilon
-                ))
-                for shard in remote_shards
-            ]
-        else:
-            futures = []
+            batch = self.start_shards(
+                _evaluate_in_worker,
+                remote_shards,
+                (metric, epsilon),
+                lambda: self.snapshot.encode(engine),
+            )
         local_results = evaluate_shard(
             engine, library, local_shard, metric, epsilon
         )
         shard_results = [local_results]
-        stale_seen = False
-        for shard, future in futures:
-            status, results = future.result()
-            if status == "stale":
-                # this worker process missed the baseline shipment:
-                # score its shard against the live engine instead —
-                # identical selections, the policy is shared
-                self.snapshot.stats.stale_shards += 1
-                stale_seen = True
-                results = evaluate_shard(
+        if batch is not None:
+            shard_results.extend(self.finish_shards(
+                batch,
+                lambda shard: evaluate_shard(
                     engine, library, shard, metric, epsilon
-                )
-            shard_results.append(results)
-        if stale_seen:
-            # resynchronize: ship a fresh full baseline next batch so
-            # the late joiner stops falling back to the parent forever
-            self.snapshot.invalidate()
+                ),
+            ))
         return merge_selections(len(sites), shard_results)
 
 

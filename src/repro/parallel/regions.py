@@ -17,15 +17,17 @@ round-trip is asserted bit-exact by ``tests/test_soa.py``) and the
 selector is deterministic and read-only, so inline and remote
 selection of the same region agree move-for-move.  The parent keeps
 shard 0 and evaluates it against its live engines while workers run,
-exactly like gain evaluation; stale shards (a worker that missed the
-session baseline) fall back to the parent and trigger a baseline
-re-ship, and any pool failure degrades the whole session to inline
-selection with the reason recorded — results identical either way.
+exactly like gain evaluation; failures walk the pool's supervised
+recovery ladder (retry → rebuild + full-baseline resend → inline for
+the failing shard only — see :mod:`repro.parallel.pool`), and only an
+exhausted rebuild budget degrades the session to inline selection with
+the reason recorded — results identical either way.
 """
 
 from __future__ import annotations
 
 from ..contracts import worker_entry
+from . import faults
 from .evaluate import shard_sites
 from .pool import EvalPool
 from .snapshot import decode as _decode_snapshot
@@ -41,22 +43,28 @@ def _select_regions_in_worker(
     timing_aware: bool,
     margin: float,
     min_gain: float,
+    fault_token: int = -1,
 ) -> tuple[str, tuple | None]:
     """Worker entry: rebuild engines from the snapshot, select a shard.
 
     *shard* holds ``(order, (region_index, pairs, crosses))`` tuples.
     Returns ``("stale", None)`` when the snapshot delta references a
-    baseline this process never cached (the parent then selects the
-    shard inline), else ``("ok", (selections, rejected, scored))``
-    with ``selections`` as ``(order, accepted)`` pairs, the worker
-    gate's rejected-candidate keys (merged into the parent's stats)
-    and the replica engine's scored-candidate count.
+    baseline this process never cached (the parent then resends the
+    full baseline once before selecting the shard inline), else
+    ``("ok", (selections, rejected, scored))`` with ``selections`` as
+    ``(order, accepted)`` pairs, the worker gate's rejected-candidate
+    keys (merged into the parent's stats) and the replica engine's
+    scored-candidate count.  *fault_token* is the parent's submission
+    index, the :class:`~repro.parallel.faults.FaultPlan` key for this
+    execution.
     """
     from ..place.hpwl import WirelengthEngine
     from ..rapids.wirelength import _TimingGate, _select_batch
     from ..timing.sta import TimingEngine
 
-    state = _decode_snapshot(payload)
+    if faults.worker_fault(fault_token) == "stale":
+        return ("stale", None)
+    state = _decode_snapshot(payload, fault_token)
     if state is None:
         return ("stale", None)
     network = state.network
@@ -142,40 +150,39 @@ class RegionEvalSession:
             return [select_inline(task) for task in tasks], 0
 
     def _select_sharded(self, tasks, select_inline):
-        executor = self.pool._ensure_executor()
         self.carrier.refresh()
-        payload = self.pool.snapshot.encode(self.carrier)
         shards = shard_sites(tasks, self.pool.workers)
         local_shard, remote_shards = shards[0], shards[1:]
-        futures = [
-            (shard, executor.submit(
-                _select_regions_in_worker, payload, shard,
-                self.timing_aware, self.margin, self.min_gain,
-            ))
-            for shard in remote_shards
-        ]
+        batch = None
+        if remote_shards:
+            batch = self.pool.start_shards(
+                _select_regions_in_worker,
+                remote_shards,
+                (self.timing_aware, self.margin, self.min_gain),
+                lambda: self.pool.snapshot.encode(self.carrier),
+            )
         results: list = [None] * len(tasks)
         for order, task in local_shard:
             results[order] = select_inline(task)
         scored = 0
-        stale_seen = False
-        for shard, future in futures:
-            status, packed = future.result()
-            if status == "stale":
-                self.pool.snapshot.stats.stale_shards += 1
-                stale_seen = True
-                for order, task in shard:
-                    results[order] = select_inline(task)
-                continue
-            selections, rejected, shard_scored = packed
-            scored += shard_scored
-            if self.gate is not None and rejected:
-                self.gate.rejected_keys.update(
-                    tuple(key) for key in rejected
-                )
-            for order, accepted in selections:
-                results[order] = accepted
-        if stale_seen:
-            self.pool.snapshot.invalidate()
+        if batch is not None:
+            # the pool's supervisor walks the full recovery ladder
+            # (retry → rebuild+resend → inline) per shard; the inline
+            # fallback mirrors a worker's ("ok", ...) payload shape
+            for packed in self.pool.finish_shards(
+                batch,
+                lambda shard: (
+                    [(order, select_inline(task)) for order, task in shard],
+                    [], 0,
+                ),
+            ):
+                selections, rejected, shard_scored = packed
+                scored += shard_scored
+                if self.gate is not None and rejected:
+                    self.gate.rejected_keys.update(
+                        tuple(key) for key in rejected
+                    )
+                for order, accepted in selections:
+                    results[order] = accepted
         self.parallel_last_round = True
         return results, scored

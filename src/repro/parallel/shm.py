@@ -1,0 +1,170 @@
+"""Crash-safe shared-memory segment lifecycle (parent side).
+
+``soa_full`` snapshot baselines (:mod:`repro.parallel.snapshot`) live
+in ``multiprocessing.shared_memory`` blocks.  A block that is never
+unlinked outlives the process as a file in ``/dev/shm`` — so an
+abnormal exit used to leak the current baseline (one block per live
+codec; SIGKILL leaks it unconditionally).  This module closes that
+hole with three layers:
+
+* **registry** — every segment is created through
+  :func:`create_segment` under a name that encodes the owning pid
+  (``repro_shm_<pid>_<seq>``) and is tracked until
+  :func:`release_segment`;
+* **exit hooks** — the first registration installs an ``atexit``
+  callback, and a ``SIGTERM`` handler *when the signal is otherwise
+  unhandled* (a graceful-shutdown owner like
+  :class:`repro.checkpoint.CheckpointManager` keeps precedence: its
+  orderly unwind closes the pools, and ``atexit`` sweeps the rest);
+* **sweeper** — :func:`sweep_stale_segments` scans ``/dev/shm`` for
+  segments whose embedded pid is dead and unlinks them, so even a
+  SIGKILLed run leaks nothing past the next run's pool start
+  (:class:`~repro.parallel.pool.EvalPool` sweeps once per process).
+
+Workers only ever *attach* to segments by name and close their
+mapping; creation and unlinking stay in the parent, so the registry
+is never touched from worker-reachable code.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import signal
+import threading
+
+try:  # pragma: no cover - stdlib; absent only on exotic builds
+    from multiprocessing import shared_memory
+except ImportError:  # pragma: no cover
+    shared_memory = None
+
+#: Segment-name prefix; the pid of the creating process follows it.
+PREFIX = "repro_shm_"
+
+_LOCK = threading.Lock()
+_REGISTRY: dict[str, object] = {}
+_COUNTER = 0
+_HOOKS_INSTALLED = False
+
+
+def create_segment(size: int):
+    """A fresh registered shared-memory block of at least *size* bytes.
+
+    The name embeds this process's pid so :func:`sweep_stale_segments`
+    can attribute (and reap) segments of dead runs.
+    """
+    if shared_memory is None:  # pragma: no cover - exotic builds
+        raise RuntimeError("multiprocessing.shared_memory unavailable")
+    global _COUNTER
+    with _LOCK:
+        _install_hooks()
+        while True:
+            _COUNTER += 1
+            name = f"{PREFIX}{os.getpid()}_{_COUNTER}"
+            try:
+                block = shared_memory.SharedMemory(
+                    create=True, size=max(1, int(size)), name=name
+                )
+            except FileExistsError:  # pragma: no cover - stale collision
+                continue
+            _REGISTRY[name] = block
+            return block
+
+
+def release_segment(block) -> None:
+    """Close and unlink one registered block (idempotent, never raises)."""
+    if block is None:
+        return
+    with _LOCK:
+        _REGISTRY.pop(getattr(block, "name", ""), None)
+    _destroy(block)
+
+
+def release_all() -> None:
+    """Close and unlink every registered block (atexit / signal hook)."""
+    with _LOCK:
+        blocks = list(_REGISTRY.values())
+        _REGISTRY.clear()
+    for block in blocks:
+        _destroy(block)
+
+
+def registered_names() -> list[str]:
+    """Names of the segments currently registered (tests assert empty)."""
+    with _LOCK:
+        return sorted(_REGISTRY)
+
+
+def sweep_stale_segments(directory: str = "/dev/shm") -> list[str]:
+    """Unlink segments left behind by dead processes; returns their names.
+
+    Only files matching this module's naming scheme are considered,
+    and only when the pid they embed no longer exists — segments of
+    live sibling runs are never touched.
+    """
+    removed: list[str] = []
+    try:
+        entries = os.listdir(directory)
+    except OSError:
+        return removed
+    for entry in entries:
+        if not entry.startswith(PREFIX):
+            continue
+        pid_text = entry[len(PREFIX):].split("_", 1)[0]
+        if not pid_text.isdigit():
+            continue
+        pid = int(pid_text)
+        if pid == os.getpid() or _pid_alive(pid):
+            continue
+        try:
+            os.unlink(os.path.join(directory, entry))
+            removed.append(entry)
+        except OSError:  # pragma: no cover - raced with another sweeper
+            pass
+    return removed
+
+
+def _destroy(block) -> None:
+    try:
+        block.close()
+    except (OSError, ValueError):  # pragma: no cover - already closed
+        pass
+    try:
+        block.unlink()
+    except (FileNotFoundError, OSError):  # pragma: no cover
+        pass
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:  # pragma: no cover - EPERM: alive, not ours
+        return True
+    return True
+
+
+def _install_hooks() -> None:
+    """One-time exit hooks; callers hold ``_LOCK``."""
+    global _HOOKS_INSTALLED
+    if _HOOKS_INSTALLED:
+        return
+    _HOOKS_INSTALLED = True
+    atexit.register(release_all)
+    try:
+        current = signal.getsignal(signal.SIGTERM)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        return
+    if current is not signal.SIG_DFL:
+        # someone owns graceful shutdown (e.g. a CheckpointManager);
+        # their unwind path plus atexit covers the release
+        return
+    def _on_term(signum, frame):  # pragma: no cover - signal path
+        release_all()
+        signal.signal(signum, signal.SIG_DFL)
+        signal.raise_signal(signum)
+    try:
+        signal.signal(signal.SIGTERM, _on_term)
+    except ValueError:  # pragma: no cover - non-main thread
+        pass

@@ -59,6 +59,7 @@ from ..network.soa import get_soa
 from ..place.placement import Placement
 from ..timing.netmodel import StarNet, StarSink
 from ..timing.sta import EvalState
+from . import faults, shm
 
 try:  # pragma: no cover - exercised via the numpy-present suite
     import numpy as np
@@ -260,13 +261,7 @@ class EvalSnapshotCodec:
     def _release_shared(self) -> None:
         block = self._shm
         self._shm = None
-        if block is None:
-            return
-        try:
-            block.close()
-            block.unlink()
-        except (FileNotFoundError, OSError):  # pragma: no cover
-            pass
+        shm.release_segment(block)
 
     def __del__(self) -> None:  # pragma: no cover - best-effort cleanup
         try:
@@ -384,7 +379,27 @@ def _pack_soa(state: EvalState):
     or ``None`` when the state cannot be expressed as indices into the
     SoA name table (callers then ship the pickled object graph).
     """
-    if np is None or shared_memory is None:
+    if shared_memory is None:
+        return None
+    columns = pack_state_columns(state)
+    if columns is None:
+        return None
+    blocks, header = columns
+    block, table, data_bytes = _pack_shared(blocks)
+    return block, (block.name, table, header), data_bytes
+
+
+def pack_state_columns(state: EvalState):
+    """*state* as flat named arrays plus a small picklable header.
+
+    Returns ``(blocks, header)`` — ``blocks`` is a list of ``(name,
+    ndarray)`` pairs, ``header`` the scalar/table dict that
+    :func:`state_from_columns` needs to rebuild the state — or ``None``
+    when the state cannot be expressed as indices into the SoA name
+    table.  The column layout is the serialization shared by the
+    shared-memory baseline protocol and :mod:`repro.checkpoint`.
+    """
+    if np is None:
         return None
     network = state.network
     compiled = get_soa(network).sync()
@@ -536,8 +551,7 @@ def _pack_soa(state: EvalState):
         "gtype_table": gtype_table,
         "cell_table": cell_table,
     }
-    block, table, data_bytes = _pack_shared(blocks)
-    return block, (block.name, table, header), data_bytes
+    return blocks, header
 
 
 def _pair_columns(mapping: dict, net_index: dict):
@@ -571,7 +585,7 @@ def _pack_shared(blocks: list):
     needs to view the arrays back out of the buffer.
     """
     total = sum(int(array.nbytes) for _, array in blocks)
-    block = shared_memory.SharedMemory(create=True, size=max(1, total))
+    block = shm.create_segment(total)
     table = []
     offset = 0
     for name, array in blocks:
@@ -624,16 +638,22 @@ class SnapshotSessionStore:
 _SESSIONS = SnapshotSessionStore()
 
 
-def decode(payload: bytes) -> EvalState | None:
+def decode(payload: bytes, fault_token: int = -1) -> EvalState | None:
     """Rebuild the batch's :class:`EvalState`, or ``None`` when stale.
 
     ``None`` means this process lacks the referenced baseline (it
     joined the pool after the full snapshot shipped, the pool rebased
     while a task was queued, or the shared-memory block of a ``soa``
     baseline was already retired) — the caller must fall back.
+
+    *fault_token* is the parent-assigned submission index; a
+    :class:`~repro.parallel.faults.FaultPlan` keyed on it can force the
+    shm-attach and corrupt-delta failure paths deterministically.
     """
     kind, token, baseline_id, body = pickle.loads(payload)
     if kind == "soa_full":
+        if faults.decode_fault("shm_attach", fault_token):
+            return None
         state = _decode_soa_full(body)
         if state is None:
             return None
@@ -646,6 +666,8 @@ def decode(payload: bytes) -> EvalState | None:
     if kind == "full":
         _SESSIONS.put(token, baseline_id, body)
         return _clone_state(body)
+    if faults.decode_fault("corrupt_delta", fault_token):
+        return None
     cached = _SESSIONS.get(token)
     if cached is None or cached[0] != baseline_id:
         return None
@@ -677,6 +699,18 @@ def _decode_soa_full(body) -> EvalState | None:
         arrays = _unpack_shared(block, table)
     finally:
         block.close()
+    return state_from_columns(arrays, header)
+
+
+def state_from_columns(arrays: dict, header: dict) -> EvalState:
+    """Inverse of :func:`pack_state_columns`.
+
+    Reconstructs the object graph in the exact iteration orders the
+    packer recorded (explicit key columns, ``gate_order`` insertion
+    ranks, slacks refolded with the ``_fold_slacks`` expression), so
+    the result is bit-identical to unpickling the original state.
+    Shared by the worker decode path and :mod:`repro.checkpoint`.
+    """
     blob = arrays["names"].tobytes()
     names = blob.decode("utf-8").split("\n") if blob else []
     num_inputs = header["num_inputs"]

@@ -413,6 +413,9 @@ def run_rapids(
     wl_slack_margin: float = 0.0,
     partition: bool = False,
     partition_max_gates: int = 2500,
+    checkpoint: str | None = None,
+    resume: bool = False,
+    checkpoint_every: int = 1,
 ) -> RapidsResult:
     """Optimize a placed mapped network in place; returns the report.
 
@@ -444,86 +447,187 @@ def run_rapids(
     semantics restricted to intra-region moves, scaling the polish to
     1e5+ gates (see :mod:`repro.rapids.partition`; implies the
     batched path).
+    With *checkpoint* a :class:`repro.checkpoint.CheckpointManager`
+    saves resume state to that path every *checkpoint_every*-th flow
+    boundary (optimization rounds, partitioned-rewiring rounds, stage
+    handoffs) and always when a SIGTERM arrived, then unwinds with
+    :class:`~repro.checkpoint.RunInterrupted`.  *resume* reloads the
+    checkpoint and re-enters the interrupted stage at the saved
+    cursor; the resumed run must be given the same inputs and flow
+    knobs, and then finishes with a trajectory — and final
+    fingerprint — bit-identical to an uninterrupted run (missing or
+    unreadable checkpoints fall back to a fresh run).
     """
     if mode not in MODES:
         raise ValueError(f"unknown mode {mode!r}; pick one of {MODES}")
-    reference = network.copy() if check_equivalence else None
-    placement_before = placement.copy()
-    sgn = SUPERGATE_STORE.get_or_extract(network)
-    coverage = sgn.coverage() * 100.0
-    max_inputs = sgn.max_supergate_inputs()
-    redundancies = redundancy_counts(
-        find_easy_redundancies(network, sgn)
-    )["events"]
-    if mode == "gsg":
-        factory = _gsg_factory(library)
-    elif mode == "gs":
-        factory = _gs_factory(library)
-    else:
-        factory = _gsg_gs_factory(library)
-    opt = optimize(
-        network,
-        placement,
-        library,
-        site_factory=factory,
-        mode=mode,
-        max_rounds=max_rounds,
-        batch_limit=batch_limit,
-        collect_log=collect_log,
-        incremental=incremental,
-        workers=workers,
-    )
-    wirelength = None
-    if wl_passes > 0:
-        from .wirelength import reduce_wirelength
+    manager = None
+    resume_payload = None
+    stage = None
+    if checkpoint is not None:
+        from ..checkpoint import CheckpointManager
 
-        wl_timing = None
-        if wl_timing_aware:
-            # the guard band is measured against the delay the
-            # optimizer just achieved: the gate's engine pins its
-            # target to this analysis' critical path
-            wl_timing = TimingEngine(network, placement, library)
-            wl_timing.analyze()
-        if partition:
-            from .partition import reduce_wirelength_partitioned
+        manager = CheckpointManager(checkpoint, every=checkpoint_every)
+        if resume:
+            resume_payload = manager.load()
+            if resume_payload is not None:
+                stage = resume_payload["stage"]
+        manager.install()
+    try:
+        # pre-flight metrics run on the pristine input even when
+        # resuming (the saved state is grafted only afterwards), so a
+        # resumed report matches the uninterrupted one field for field
+        reference = network.copy() if check_equivalence else None
+        placement_before = placement.copy()
+        sgn = SUPERGATE_STORE.get_or_extract(network)
+        coverage = sgn.coverage() * 100.0
+        max_inputs = sgn.max_supergate_inputs()
+        redundancies = redundancy_counts(
+            find_easy_redundancies(network, sgn)
+        )["events"]
+        if stage == "done":
+            from ..checkpoint import graft_state, unpack_eval_state
 
-            wirelength = reduce_wirelength_partitioned(
-                network, placement, max_gates=partition_max_gates,
-                max_passes=wl_passes, timing_engine=wl_timing,
-                slack_margin=wl_slack_margin, workers=workers,
-                library=library,
+            graft_state(
+                unpack_eval_state(resume_payload["final_state"]),
+                network, placement,
             )
+            result = resume_payload["result"]
+            if reference is not None:
+                result.equivalent = networks_equivalent(
+                    reference, network, backend=sim_backend
+                )
+            return result
+        if mode == "gsg":
+            factory = _gsg_factory(library)
+        elif mode == "gs":
+            factory = _gs_factory(library)
         else:
-            wirelength = reduce_wirelength(
-                network, placement, max_passes=wl_passes,
-                batched=wl_batched, timing_engine=wl_timing,
-                slack_margin=wl_slack_margin,
+            factory = _gsg_gs_factory(library)
+        if stage in ("wl", "wl_partition"):
+            opt = resume_payload["opt"]
+            if stage == "wl":
+                from ..checkpoint import graft_state, unpack_eval_state
+
+                graft_state(
+                    unpack_eval_state(resume_payload["run_state"]),
+                    network, placement,
+                )
+        else:
+            opt = optimize(
+                network,
+                placement,
+                library,
+                site_factory=factory,
+                mode=mode,
+                max_rounds=max_rounds,
+                batch_limit=batch_limit,
+                collect_log=collect_log,
+                incremental=incremental,
+                workers=workers,
+                checkpoint=manager,
+                resume_data=(
+                    resume_payload if stage == "optimize" else None
+                ),
             )
-        if wirelength.swaps_applied or wirelength.cross_swaps_applied:
-            # the polish rewired nets after the optimizer's last STA:
-            # re-time so the reported delay describes the returned
-            # netlist (area is untouched — these moves add no cells).
-            # The guard engine already tracked every commit
-            # incrementally (incremental == fresh to 1e-9), so only
-            # the timing-blind path needs a from-scratch analysis.
-            if wl_timing is not None:
-                wl_timing.refresh()
-                opt.final_delay = wl_timing.max_delay
+        if manager is not None:
+            from ..checkpoint import pack_network
+
+            # every later payload carries the finished optimization
+            # result via the manager context; the forced boundary also
+            # converts a SIGTERM that landed after the optimizer's
+            # last round into a clean stage handoff
+            manager.context = {"opt": opt}
+            if stage not in ("wl", "wl_partition"):
+                manager.boundary(
+                    "wl",
+                    lambda: {"run_state": pack_network(network, placement)},
+                    force=True,
+                )
+        wirelength = None
+        if wl_passes > 0:
+            from .wirelength import reduce_wirelength
+
+            wl_timing = None
+            if stage == "wl_partition":
+                from ..checkpoint import (
+                    engine_from_state,
+                    graft_state,
+                    unpack_eval_state,
+                )
+
+                state = unpack_eval_state(resume_payload["engine_state"])
+                if resume_payload["timing_aware"]:
+                    wl_timing = engine_from_state(
+                        state, network, placement, library
+                    )
+                else:
+                    graft_state(state, network, placement)
+            elif wl_timing_aware:
+                # the guard band is measured against the delay the
+                # optimizer just achieved: the gate's engine pins its
+                # target to this analysis' critical path
+                wl_timing = TimingEngine(network, placement, library)
+                wl_timing.analyze()
+            if partition:
+                from .partition import reduce_wirelength_partitioned
+
+                wirelength = reduce_wirelength_partitioned(
+                    network, placement, max_gates=partition_max_gates,
+                    max_passes=wl_passes, timing_engine=wl_timing,
+                    slack_margin=wl_slack_margin, workers=workers,
+                    library=library,
+                    checkpoint=manager,
+                    resume_data=(
+                        resume_payload if stage == "wl_partition" else None
+                    ),
+                )
             else:
-                final_engine = TimingEngine(network, placement, library)
-                final_engine.analyze()
-                opt.final_delay = final_engine.max_delay
-    result = RapidsResult(
-        mode=mode,
-        optimize=opt,
-        coverage_percent=coverage,
-        max_supergate_inputs=max_inputs,
-        redundancies=redundancies,
-        perturbation=perturbation(placement_before, placement),
-        wirelength=wirelength,
-    )
-    if reference is not None:
-        result.equivalent = networks_equivalent(
-            reference, network, backend=sim_backend
+                wirelength = reduce_wirelength(
+                    network, placement, max_passes=wl_passes,
+                    batched=wl_batched, timing_engine=wl_timing,
+                    slack_margin=wl_slack_margin,
+                )
+            if wirelength.swaps_applied or wirelength.cross_swaps_applied:
+                # the polish rewired nets after the optimizer's last
+                # STA: re-time so the reported delay describes the
+                # returned netlist (area is untouched — these moves add
+                # no cells).  The guard engine already tracked every
+                # commit incrementally (incremental == fresh to 1e-9),
+                # so only the timing-blind path needs a from-scratch
+                # analysis.
+                if wl_timing is not None:
+                    wl_timing.refresh()
+                    opt.final_delay = wl_timing.max_delay
+                else:
+                    final_engine = TimingEngine(network, placement, library)
+                    final_engine.analyze()
+                    opt.final_delay = final_engine.max_delay
+        result = RapidsResult(
+            mode=mode,
+            optimize=opt,
+            coverage_percent=coverage,
+            max_supergate_inputs=max_inputs,
+            redundancies=redundancies,
+            perturbation=perturbation(placement_before, placement),
+            wirelength=wirelength,
         )
-    return result
+        if reference is not None:
+            result.equivalent = networks_equivalent(
+                reference, network, backend=sim_backend
+            )
+        if manager is not None:
+            from ..checkpoint import pack_network
+
+            # a completed run checkpoints its own result: resuming a
+            # finished checkpoint grafts the final netlist and returns
+            # the saved report instead of redoing any work
+            manager.context = {}
+            manager.save({
+                "stage": "done",
+                "result": result,
+                "final_state": pack_network(network, placement),
+            })
+        return result
+    finally:
+        if manager is not None:
+            manager.uninstall()

@@ -41,7 +41,7 @@ unpartitioned batched path (both properties are locked by
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..network.netlist import Network, Pin
 from ..place.hpwl import WirelengthEngine
@@ -82,6 +82,9 @@ class PartitionedResult(WirelengthResult):
     workers: int = 1
     parallel_rounds: int = 0
     fallback_reason: str | None = None
+    #: Recovery-ladder counters of the session's pool (empty when the
+    #: run was serial); see :class:`repro.parallel.pool.PoolHealth`.
+    health: dict = field(default_factory=dict)
 
 
 def _region_tasks(
@@ -134,6 +137,8 @@ def reduce_wirelength_partitioned(
     balance: float = 0.55,
     refine_passes: int = 3,
     carve_seed: int = 0,
+    checkpoint=None,
+    resume_data: dict | None = None,
 ) -> PartitionedResult:
     """Region-bounded wirelength rewiring (see module docstring).
 
@@ -149,9 +154,22 @@ def reduce_wirelength_partitioned(
     *library* — without either, evaluation silently stays inline and
     the result records ``fallback_reason``.  The committed trajectory
     is identical for every worker count.
+
+    *checkpoint* (a :class:`repro.checkpoint.CheckpointManager`) saves
+    a ``"wl_partition"`` cursor after every applied round.  To resume,
+    the caller grafts the saved state back into *network* /
+    *placement* / *timing_engine* first (see
+    :func:`repro.checkpoint.graft_state` /
+    :func:`~repro.checkpoint.engine_from_state`) and passes the loaded
+    payload as *resume_data*; the run re-enters the interrupted pass
+    mid-flight — resumed rounds are leaf-pair-only by construction
+    (cross exchanges ride only a pass's first round) — with the saved
+    carve, counters and slack-gate statistics, and finishes
+    bit-identically to the uninterrupted run.
     """
     from .engine import SupergateCache
 
+    resuming = resume_data is not None
     placement.ensure_covered(network)
     engine = WirelengthEngine(network, placement)
     gate = (
@@ -159,10 +177,16 @@ def reduce_wirelength_partitioned(
         if timing_engine is not None else None
     )
     cache = SupergateCache(network)
-    regions = carve_regions(
-        network, placement, max_gates, balance=balance,
-        refine_passes=refine_passes, seed=carve_seed,
-    )
+    if resuming:
+        # the carve is geometry-seeded on the *initial* netlist; the
+        # resumed (rewired) netlist could carve differently, so the
+        # original RegionSet rides in the checkpoint
+        regions = resume_data["regions"]
+    else:
+        regions = carve_regions(
+            network, placement, max_gates, balance=balance,
+            refine_passes=refine_passes, seed=carve_seed,
+        )
     session = None
     fallback_reason = None
     if workers > 1:
@@ -189,22 +213,85 @@ def reduce_wirelength_partitioned(
     parallel_rounds = 0
     deferred = 0
     boundary_conflicts = 0
+    health: dict = {}
     scored_before = engine.candidates_scored
     remote_scored = 0
+    pass_applied = 0
+    tasks: list[tuple[int, list, list]] = []
+    if resuming:
+        initial = resume_data["initial_hpwl"]
+        leaf_applied = resume_data["leaf_applied"]
+        cross_applied = resume_data["cross_applied"]
+        passes = resume_data["passes"]
+        rounds = resume_data["rounds"]
+        parallel_rounds = resume_data["parallel_rounds"]
+        deferred = resume_data["deferred"]
+        boundary_conflicts = resume_data["boundary_conflicts"]
+        pass_applied = resume_data["pass_applied"]
+        remote_scored = resume_data["remote_scored"]
+        scored_before = engine.candidates_scored - resume_data["local_scored"]
+        tasks = [
+            (index, list(task_pairs), [])
+            for index, task_pairs in resume_data["tasks_pairs"]
+        ]
+        if gate is not None and resume_data["gate_stats"] is not None:
+            stats = resume_data["gate_stats"]
+            gate.rejected_keys = {tuple(key) for key in stats["rejected"]}
+            gate.max_drift = stats["max_drift"]
+            gate.repricings = stats["repricings"]
 
     def select_inline(task):
         _index, pairs, crosses = task
         return _select_batch(network, engine, pairs, crosses, min_gain, gate)
 
+    def cursor() -> dict:
+        """Round-boundary resume payload (see the *checkpoint* doc)."""
+        from ..checkpoint import pack_eval_state, pack_network
+
+        return {
+            "regions": regions,
+            "initial_hpwl": initial,
+            "leaf_applied": leaf_applied,
+            "cross_applied": cross_applied,
+            "passes": passes,
+            "rounds": rounds,
+            "parallel_rounds": parallel_rounds,
+            "deferred": deferred,
+            "boundary_conflicts": boundary_conflicts,
+            "pass_applied": pass_applied,
+            "remote_scored": remote_scored,
+            "local_scored": engine.candidates_scored - scored_before,
+            "tasks_pairs": [
+                (index, list(task_pairs)) for index, task_pairs, _ in tasks
+            ],
+            "gate_stats": None if gate is None else {
+                "rejected": sorted(gate.rejected_keys),
+                "max_drift": gate.max_drift,
+                "repricings": gate.repricings,
+            },
+            "timing_aware": gate is not None,
+            "engine_state": (
+                pack_eval_state(gate.engine.export_eval_state())
+                if gate is not None
+                else pack_network(network, placement)
+            ),
+        }
+
     try:
-        for _ in range(max_passes):
-            passes += 1
-            sgn = cache.get()
-            pairs = _leaf_pairs(sgn, network)
-            crosses = _pure_crosses(sgn) if include_cross else []
-            tasks = _region_tasks(network, regions, pairs, crosses)
-            pass_applied = 0
-            first_round = True
+        mid_pass = resuming
+        while passes < max_passes or mid_pass:
+            if mid_pass:
+                mid_pass = False
+                sgn = cache.get()
+                first_round = False
+            else:
+                passes += 1
+                sgn = cache.get()
+                pairs = _leaf_pairs(sgn, network)
+                crosses = _pure_crosses(sgn) if include_cross else []
+                tasks = _region_tasks(network, regions, pairs, crosses)
+                pass_applied = 0
+                first_round = True
             while True:
                 rounds += 1
                 round_tasks = tasks if first_round else [
@@ -261,12 +348,15 @@ def reduce_wirelength_partitioned(
                 pass_applied += leaves + crossings
                 if leaves + crossings == 0:
                     break
+                if checkpoint is not None:
+                    checkpoint.boundary("wl_partition", cursor)
             if pass_applied == 0:
                 break
     finally:
         if session is not None:
             if fallback_reason is None:
                 fallback_reason = session.fallback_reason
+            health = session.pool.health.as_dict()
             session.close()
 
     result = PartitionedResult(
@@ -288,6 +378,7 @@ def reduce_wirelength_partitioned(
         workers=workers,
         parallel_rounds=parallel_rounds,
         fallback_reason=fallback_reason,
+        health=health,
     )
     _attach_timing_stats(result, gate)
     return result

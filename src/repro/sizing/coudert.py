@@ -184,6 +184,8 @@ def optimize(
     incremental: bool = True,
     workers: int = 1,
     eval_pool: EvalPool | None = None,
+    checkpoint=None,
+    resume_data: dict | None = None,
 ) -> OptimizeResult:
     """Run the two-phase loop; mutates *network* (and placement) in place.
 
@@ -204,6 +206,12 @@ def optimize(
     opts into the adaptive :class:`BatchPolicy`, which grows the cap
     (up to ``AUTO_BATCH_MAX``) while batches dirty most of the network
     and decays it back otherwise.
+
+    *checkpoint* (a :class:`repro.checkpoint.CheckpointManager`)
+    enables round-boundary saves; *resume_data* is a previously saved
+    ``"optimize"``-stage payload — the run grafts its state into
+    *network*/*placement* and re-enters the loop at the saved cursor,
+    yielding a result identical to the uninterrupted run.
     """
     pool = eval_pool
     own_pool = False
@@ -215,6 +223,7 @@ def optimize(
             network, placement, library, site_factory, mode=mode,
             max_rounds=max_rounds, batch_limit=batch_limit, epsilon=epsilon,
             collect_log=collect_log, incremental=incremental, pool=pool,
+            checkpoint=checkpoint, resume_data=resume_data,
         )
     finally:
         if own_pool and pool is not None:
@@ -233,26 +242,68 @@ def _optimize(
     collect_log: bool,
     incremental: bool,
     pool: EvalPool | None,
+    checkpoint=None,
+    resume_data: dict | None = None,
 ) -> OptimizeResult:
     from ..synth.mapper import network_area
 
     policy = resolve_batch_policy(batch_limit)
     start = time.perf_counter()
-    engine = TimingEngine(network, placement, library)
-    engine.analyze()
-    initial_delay = engine.max_delay
-    initial_area = network_area(network, library)
-    best_delay = initial_delay
-    best_snapshot = _snapshot(network, placement)
-    result = OptimizeResult(
-        mode=mode,
-        initial_delay=initial_delay,
-        final_delay=initial_delay,
-        initial_area=initial_area,
-        final_area=initial_area,
-    )
-    stagnant = 0
-    for round_index in range(max_rounds):
+    start_round = 0
+    if resume_data is not None:
+        from ..checkpoint import (
+            engine_from_state, graft_state, unpack_eval_state,
+        )
+
+        state = unpack_eval_state(resume_data["engine_state"])
+        if incremental:
+            # adopt the saved engine caches verbatim: incremental STA
+            # resumed from them prices bit-identically to the engine
+            # the interrupted run carried into this round
+            engine = engine_from_state(state, network, placement, library)
+        else:
+            # the non-incremental loop rebuilds + re-analyzes every
+            # round anyway, so a fresh analyze reproduces it exactly
+            graft_state(state, network, placement)
+            engine = TimingEngine(network, placement, library)
+            engine.analyze()
+        initial_delay = resume_data["initial_delay"]
+        initial_area = resume_data["initial_area"]
+        best_delay = resume_data["best_delay"]
+        best_state = unpack_eval_state(resume_data["best"])
+        best_snapshot = (
+            best_state.network, best_state.placement,
+            resume_data["best_version"],
+        )
+        policy.limit = resume_data["policy_limit"]
+        stagnant = resume_data["stagnant"]
+        start_round = resume_data["next_round"]
+        result = OptimizeResult(
+            mode=mode,
+            initial_delay=initial_delay,
+            final_delay=initial_delay,
+            initial_area=initial_area,
+            final_area=initial_area,
+            rounds=resume_data["rounds"],
+            moves_applied=resume_data["moves_applied"],
+            move_log=list(resume_data["move_log"]),
+        )
+    else:
+        engine = TimingEngine(network, placement, library)
+        engine.analyze()
+        initial_delay = engine.max_delay
+        initial_area = network_area(network, library)
+        best_delay = initial_delay
+        best_snapshot = _snapshot(network, placement)
+        result = OptimizeResult(
+            mode=mode,
+            initial_delay=initial_delay,
+            final_delay=initial_delay,
+            initial_area=initial_area,
+            final_area=initial_area,
+        )
+        stagnant = 0
+    for round_index in range(start_round, max_rounds):
         result.rounds = round_index + 1
         applied_min = _phase(
             network, placement, library, engine, site_factory,
@@ -279,6 +330,11 @@ def _optimize(
             break
         if stagnant >= 2:
             break
+        if checkpoint is not None:
+            checkpoint.boundary("optimize", lambda: _optimize_cursor(
+                engine, round_index, best_delay, best_snapshot,
+                stagnant, policy, result, initial_delay, initial_area,
+            ))
     _restore(network, placement, best_snapshot)
     engine = _refreshed(engine, incremental)
     engine = _area_recovery(
@@ -439,6 +495,44 @@ def _phase(
     if applied:
         policy.observe(len(touched), len(network.inputs) + len(network))
     return applied
+
+
+def _optimize_cursor(
+    engine: TimingEngine,
+    round_index: int,
+    best_delay: float,
+    best_snapshot: tuple[Network, Placement, int],
+    stagnant: int,
+    policy: BatchPolicy,
+    result: OptimizeResult,
+    initial_delay: float,
+    initial_area: float,
+) -> dict:
+    """Round-boundary resume payload for the two-phase loop.
+
+    Captures everything :func:`_optimize` needs to re-enter the loop at
+    ``next_round`` and finish bit-identically: the engine's cached
+    analysis (the resume vehicle — re-analyzing would not be bit-exact
+    to incremental STA), the best-seen snapshot with its capture
+    version, the RNG-free loop cursor and the result counters.
+    """
+    from ..checkpoint import pack_eval_state, pack_network
+
+    best_network, best_placement, best_version = best_snapshot
+    return {
+        "next_round": round_index + 1,
+        "best_delay": best_delay,
+        "best": pack_network(best_network, best_placement),
+        "best_version": best_version,
+        "stagnant": stagnant,
+        "policy_limit": policy.limit,
+        "rounds": result.rounds,
+        "moves_applied": result.moves_applied,
+        "move_log": list(result.move_log),
+        "initial_delay": initial_delay,
+        "initial_area": initial_area,
+        "engine_state": pack_eval_state(engine.export_eval_state()),
+    }
 
 
 def _snapshot(

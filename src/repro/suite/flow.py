@@ -56,6 +56,12 @@ class FlowConfig:
     partition_max_gates: int = 2500   # region size cap for the carve
     anneal_moves: int | None = None  # None = auto (40 moves per gate)
     presize: bool = True              # timing-driven sizing before placement
+    checkpoint: str | None = None     # checkpoint file path; each mode
+                                      # saves to "<path>.<mode>" so a
+                                      # multi-mode run resumes per mode
+    resume: bool = False              # reload per-mode checkpoints and
+                                      # continue interrupted runs
+    checkpoint_every: int = 1         # boundary cadence between saves
 
     def effective_scale(self) -> float:
         return self.scale if self.scale is not None else configured_scale()
@@ -170,6 +176,12 @@ def run_benchmark(
             wl_slack_margin=config.wl_slack_margin,
             partition=config.partition,
             partition_max_gates=config.partition_max_gates,
+            checkpoint=(
+                f"{config.checkpoint}.{mode}"
+                if config.checkpoint is not None else None
+            ),
+            resume=config.resume,
+            checkpoint_every=config.checkpoint_every,
         )
     if all(mode in outcome.results for mode in MODES):
         outcome.row = build_row(

@@ -81,7 +81,13 @@ def find_cross_swaps(sgn: SupergateNetwork) -> list[CrossSwap]:
     """
     network = sgn.network
     swaps: list[CrossSwap] = []
-    for parent in sgn.supergates.values():
+    # root-name order, not dict insertion order: a refreshed cache and
+    # a fresh extraction insert supergates differently, and the swap
+    # enumeration order must be a function of the netlist alone so a
+    # checkpoint-resumed run enumerates identically (see
+    # SupergateNetwork.nontrivial)
+    for root in sorted(sgn.supergates):
+        parent = sgn.supergates[root]
         if parent.sg_class in (SgClass.CONST, SgClass.WIRE):
             continue
         candidates: list[tuple[Pin, Supergate]] = []

@@ -138,8 +138,20 @@ class SupergateNetwork:
         return self.supergates[self.owner[gate_name]]
 
     def nontrivial(self) -> list[Supergate]:
-        """Supergates covering more than one gate."""
-        return [sg for sg in self.supergates.values() if not sg.is_trivial]
+        """Supergates covering more than one gate, in root-name order.
+
+        The order is canonical on purpose: dict insertion order differs
+        between a fresh extraction and an incrementally refreshed cache
+        (regrown supergates append at the end), and downstream site
+        enumeration derives trajectory-relevant ordering from this
+        list.  Sorting by root makes the trajectory a function of the
+        netlist alone — a requirement for checkpoint resume, which
+        re-extracts from scratch.
+        """
+        return sorted(
+            (sg for sg in self.supergates.values() if not sg.is_trivial),
+            key=lambda sg: sg.root,
+        )
 
     def coverage(self) -> float:
         """Fraction of gates covered by non-trivial supergates (column 12)."""

@@ -1,0 +1,23 @@
+"""The @fault_hook exemption: hook bodies pass, their callees don't."""
+
+from repro.contracts import fault_hook, worker_entry
+
+_PLAN_CACHE = {}
+TALLY = {}
+
+
+@worker_entry
+def run_shard(task):
+    return _plan_for(task)
+
+
+@fault_hook
+def _plan_for(task):
+    # exempt: the hook's documented parsed-plan cache
+    _PLAN_CACHE[task.token] = task.plan
+    return _tally(task)
+
+
+def _tally(task):
+    TALLY[task.key] = 1  # a hook callee is NOT exempt
+    return TALLY[task.key]

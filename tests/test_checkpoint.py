@@ -1,0 +1,362 @@
+"""Checkpoint/resume: crash-durable runs with bit-identical results.
+
+The contract of :mod:`repro.checkpoint`: a run interrupted by SIGTERM
+saves its cursor at the next deterministic boundary and exits cleanly;
+rerunning with ``resume`` grafts the saved state back and finishes
+with a trajectory — and final fingerprint — bit-identical to a run
+that was never interrupted.  Tested bottom-up: the manager's save /
+cadence / signal machinery, the state packers' exact round-trips, the
+optimizer and whole-``run_rapids`` resume equivalence at every
+boundary, and a real SIGTERMed CLI process resumed to the same flow
+fingerprint.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+
+import pytest
+from helpers import random_network
+
+from repro.checkpoint import (
+    CHECKPOINT_EXIT_CODE,
+    CheckpointManager,
+    RunInterrupted,
+    engine_from_state,
+    graft_state,
+    pack_eval_state,
+    pack_network,
+    unpack_eval_state,
+)
+from repro.library.cells import default_library
+from repro.parallel import faults
+from repro.place.placer import place
+from repro.rapids.engine import _gs_factory, run_rapids
+from repro.sizing.coudert import optimize
+from repro.synth.mapper import map_network
+from repro.timing.sta import TimingEngine
+
+SRC = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, "src")
+)
+
+
+def _placed_design(seed: int, num_gates: int = 50):
+    library = default_library()
+    network = random_network(
+        seed, num_inputs=8, num_gates=num_gates, num_outputs=4
+    )
+    map_network(network, library)
+    placement = place(network, library, seed=seed, anneal_moves=1500)
+    return network, placement, library
+
+
+def _result_fingerprint(network, result) -> tuple:
+    opt = result.optimize
+    wl = result.wirelength
+    return (
+        tuple(
+            (g.name, g.gtype.value, tuple(g.fanins), g.cell)
+            for g in sorted(network.gates(), key=lambda g: g.name)
+        ),
+        opt.moves_applied, opt.rounds, opt.final_delay, opt.final_area,
+        None if wl is None else (
+            wl.swaps_applied, wl.cross_swaps_applied, wl.final_hpwl,
+            wl.rounds, wl.passes, wl.candidates_scored,
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# the manager: persistence, cadence, signals
+# ----------------------------------------------------------------------
+def test_save_is_atomic_and_load_tolerates_garbage(tmp_path):
+    path = tmp_path / "run.ckpt"
+    manager = CheckpointManager(str(path))
+    assert manager.load() is None           # missing file: fresh run
+    manager.save({"stage": "x", "value": 7})
+    assert manager.load() == {"stage": "x", "value": 7}
+    assert manager.saves == 1
+    assert manager.save_seconds > 0.0
+    assert not list(tmp_path.glob("*.tmp.*"))   # temp replaced, not left
+    path.write_bytes(b"\x80garbage")
+    assert manager.load() is None           # corrupt file: fresh run
+
+
+def test_boundary_cadence_context_and_stage(tmp_path):
+    manager = CheckpointManager(str(tmp_path / "run.ckpt"), every=2)
+    manager.context = {"benchmark": "alu2"}
+    built = []
+
+    def builder():
+        built.append(True)
+        return {"round": len(built)}
+
+    manager.boundary("optimize", builder)
+    assert built == []                      # boundary 1: off cadence
+    manager.boundary("optimize", builder)
+    assert len(built) == 1                  # boundary 2: saved
+    payload = manager.load()
+    assert payload["stage"] == "optimize"
+    assert payload["benchmark"] == "alu2"
+    manager.boundary("wl", builder, force=True)
+    assert len(built) == 2                  # force overrides cadence
+
+
+def test_sigterm_defers_to_the_next_boundary_then_unwinds(tmp_path):
+    manager = CheckpointManager(str(tmp_path / "run.ckpt"), every=10**9)
+    previous = signal.getsignal(signal.SIGTERM)
+    manager.install()
+    try:
+        os.kill(os.getpid(), signal.SIGTERM)
+        assert manager.interrupted          # flag only — no save yet
+        assert manager.load() is None
+        with pytest.raises(RunInterrupted) as excinfo:
+            manager.boundary("optimize", lambda: {"round": 3})
+        assert excinfo.value.stage == "optimize"
+        assert manager.load()["round"] == 3  # saved despite the cadence
+    finally:
+        manager.uninstall()
+    assert signal.getsignal(signal.SIGTERM) is previous
+
+
+def test_injected_sigterm_fault_interrupts_deterministically(tmp_path):
+    manager = CheckpointManager(str(tmp_path / "run.ckpt"))
+    manager.install()
+    try:
+        with faults.active({"checkpoint_round": {2: {"action": "sigterm"}}}):
+            manager.boundary("optimize", lambda: {"round": 1})
+            with pytest.raises(RunInterrupted):
+                manager.boundary("optimize", lambda: {"round": 2})
+    finally:
+        manager.uninstall()
+    assert manager.load()["round"] == 2
+
+
+# ----------------------------------------------------------------------
+# state packing: exact round-trips
+# ----------------------------------------------------------------------
+def test_pack_eval_state_round_trips_the_engine_caches():
+    network, placement, library = _placed_design(5, num_gates=40)
+    engine = TimingEngine(network, placement, library)
+    engine.analyze()
+    state = unpack_eval_state(pack_eval_state(engine.export_eval_state()))
+    reference = engine.export_eval_state()
+    assert state.arrival == reference.arrival
+    assert state.slack == reference.slack
+    assert state.req0 == reference.req0
+    assert state.max_delay == reference.max_delay
+    assert state.version == reference.version
+    assert list(state.network._gates) == list(network._gates)
+
+
+def test_graft_state_restores_content_into_live_objects():
+    network, placement, library = _placed_design(7, num_gates=30)
+    packed = pack_network(network, placement)
+    target, target_pl = _placed_design(8, num_gates=25)[:2]
+    graft_state(unpack_eval_state(packed), target, target_pl)
+    assert list(target._gates) == list(network._gates)
+    assert {
+        n: (g.gtype, tuple(g.fanins), g.cell)
+        for n, g in target._gates.items()
+    } == {
+        n: (g.gtype, tuple(g.fanins), g.cell)
+        for n, g in network._gates.items()
+    }
+    assert target.inputs == network.inputs
+    assert target.outputs == network.outputs
+    assert target_pl.locations == placement.locations
+    assert target.topo_order() == network.topo_order()
+
+
+def test_engine_from_state_prices_identically_without_reanalysis():
+    network, placement, library = _placed_design(9, num_gates=40)
+    engine = TimingEngine(network, placement, library)
+    engine.analyze()
+    packed = pack_eval_state(engine.export_eval_state())
+    net2, pl2 = network.copy(), placement.copy()
+    replica = engine_from_state(unpack_eval_state(packed), net2, pl2, library)
+    assert replica.arrival == engine.arrival
+    assert replica.slack == engine.slack
+    assert replica.max_delay == engine.max_delay
+    # and it keeps agreeing after an identical incremental commit
+    from repro.sizing.moves import resize_sites
+
+    site = resize_sites(network, library)[0]
+    site.moves[0].apply(network, library)
+    engine.refresh()
+    resize_sites(net2, library)[0].moves[0].apply(net2, library)
+    replica.refresh()
+    assert replica.slack == engine.slack
+    assert replica.max_delay == engine.max_delay
+
+
+# ----------------------------------------------------------------------
+# optimizer resume: bit-identical trajectories
+# ----------------------------------------------------------------------
+def test_optimize_interrupted_and_resumed_matches_uninterrupted(tmp_path):
+    network, placement, library = _placed_design(13, num_gates=60)
+    factory = _gs_factory(library)
+    plain_net, plain_pl = network.copy(), placement.copy()
+    plain = optimize(
+        plain_net, plain_pl, library, factory, collect_log=True
+    )
+    assert plain.moves_applied > 0
+
+    manager = CheckpointManager(str(tmp_path / "run.ckpt"))
+    manager.install()
+    int_net, int_pl = network.copy(), placement.copy()
+    try:
+        with faults.active({"checkpoint_round": {1: {"action": "sigterm"}}}):
+            with pytest.raises(RunInterrupted):
+                optimize(
+                    int_net, int_pl, library, factory,
+                    collect_log=True, checkpoint=manager,
+                )
+    finally:
+        manager.uninstall()
+    payload = manager.load()
+    assert payload["stage"] == "optimize"
+
+    res_net, res_pl = network.copy(), placement.copy()
+    resumed = optimize(
+        res_net, res_pl, library, factory,
+        collect_log=True, resume_data=payload,
+    )
+    assert resumed.move_log == plain.move_log
+    assert resumed.final_delay == plain.final_delay
+    assert resumed.final_area == plain.final_area
+    assert resumed.rounds == plain.rounds
+    assert {
+        g.name: (g.cell, tuple(g.fanins)) for g in res_net.gates()
+    } == {
+        g.name: (g.cell, tuple(g.fanins)) for g in plain_net.gates()
+    }
+
+
+# ----------------------------------------------------------------------
+# whole-run resume: every boundary, identical fingerprint
+# ----------------------------------------------------------------------
+def test_run_rapids_resumes_identically_from_every_boundary(tmp_path):
+    network, placement, library = _placed_design(17, num_gates=80)
+    path = str(tmp_path / "run.ckpt")
+    kwargs = dict(
+        mode="gs", max_rounds=3, wl_passes=2,
+        partition=True, partition_max_gates=30,
+    )
+    plain_net = network.copy()
+    plain = run_rapids(plain_net, placement.copy(), library, **kwargs)
+    reference = _result_fingerprint(plain_net, plain)
+    stages = []
+    index = 1
+    while index <= 20:
+        if os.path.exists(path):
+            os.unlink(path)
+        plan = {"checkpoint_round": {index: {"action": "sigterm"}}}
+        int_net = network.copy()
+        with faults.active(plan):
+            try:
+                run_rapids(
+                    int_net, placement.copy(), library,
+                    checkpoint=path, **kwargs,
+                )
+                break       # past the last boundary: run completed
+            except RunInterrupted as interrupt:
+                stages.append(interrupt.stage)
+        res_net = network.copy()
+        resumed = run_rapids(
+            res_net, placement.copy(), library,
+            checkpoint=path, resume=True, **kwargs,
+        )
+        assert _result_fingerprint(res_net, resumed) == reference, (
+            f"resume from boundary {index} ({stages[-1]}) diverged"
+        )
+        index += 1
+    assert "optimize" in stages
+    assert "wl" in stages
+    # resuming an already-finished checkpoint replays nothing and
+    # returns the recorded result
+    done_net = network.copy()
+    done = run_rapids(
+        done_net, placement.copy(), library,
+        checkpoint=path, resume=True, **kwargs,
+    )
+    assert _result_fingerprint(done_net, done) == reference
+
+
+def test_missing_checkpoint_with_resume_just_runs_fresh(tmp_path):
+    network, placement, library = _placed_design(19, num_gates=40)
+    plain_net = network.copy()
+    plain = run_rapids(plain_net, placement.copy(), library, mode="gs")
+    res_net = network.copy()
+    resumed = run_rapids(
+        res_net, placement.copy(), library, mode="gs",
+        checkpoint=str(tmp_path / "never-written.ckpt"), resume=True,
+    )
+    assert _result_fingerprint(res_net, resumed) == \
+        _result_fingerprint(plain_net, plain)
+
+
+# ----------------------------------------------------------------------
+# the real thing: a SIGTERMed CLI process, resumed
+# ----------------------------------------------------------------------
+_FINGERPRINT_SCRIPT = """
+import sys
+from repro.suite.flow import FlowConfig, trajectory_fingerprint
+
+config = FlowConfig(scale=0.05, checkpoint={checkpoint!r}, resume={resume})
+print(trajectory_fingerprint("alu2", config))
+"""
+
+
+def _run(argv, env):
+    return subprocess.run(
+        argv, capture_output=True, text=True, env=env, timeout=300,
+    )
+
+
+def test_sigtermed_cli_run_resumes_to_identical_fingerprint(tmp_path):
+    """End to end: ``rapids bench --checkpoint`` receives a (plan-
+    injected, genuinely delivered) SIGTERM, exits with the documented
+    status after a clean save, and a ``--resume`` rerun reproduces the
+    uninterrupted flow fingerprint."""
+    path = str(tmp_path / "cli.ckpt")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC
+    env.pop(faults.ENV_VAR, None)
+
+    plain = _run(
+        [sys.executable, "-c",
+         _FINGERPRINT_SCRIPT.format(checkpoint=None, resume=False)],
+        env,
+    )
+    assert plain.returncode == 0, plain.stderr
+
+    interrupted_env = dict(env)
+    interrupted_env[faults.ENV_VAR] = faults.FaultPlan(
+        {"checkpoint_round": {1: {"action": "sigterm"}}}
+    ).to_env()
+    interrupted = _run(
+        [sys.executable, "-m", "repro.cli", "bench", "alu2",
+         "--scale", "0.05", "--checkpoint", path],
+        interrupted_env,
+    )
+    assert interrupted.returncode == CHECKPOINT_EXIT_CODE, (
+        interrupted.returncode, interrupted.stderr
+    )
+    assert "--resume" in interrupted.stderr
+    saved = [f for f in os.listdir(tmp_path) if f.startswith("cli.ckpt")]
+    assert saved, "interrupt did not leave a checkpoint file"
+
+    resumed = _run(
+        [sys.executable, "-c",
+         _FINGERPRINT_SCRIPT.format(checkpoint=path, resume=True)],
+        env,
+    )
+    assert resumed.returncode == 0, resumed.stderr
+    assert resumed.stdout.strip() == plain.stdout.strip(), (
+        "resumed flow fingerprint diverged from the uninterrupted run"
+    )

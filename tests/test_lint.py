@@ -145,6 +145,18 @@ class TestWorkerGlobalRule:
         # locals/params are fine; the waiver pragma silences BASELINES
         assert lint("worker_clean.py") == []
 
+    def test_fault_hook_body_exempt_but_callees_walked(self):
+        # @fault_hook covers the hook body (its plan cache is keyed on
+        # the immutable env payload) — not the functions it calls
+        findings = lint("worker_fault_hook.py")
+        assert rules_of(findings) == {"worker-global"}
+        messages = [f.message for f in findings]
+        assert all("_plan_for" not in m for m in messages)
+        assert any(
+            "writes into module global 'TALLY'" in m for m in messages
+        )
+        assert len(findings) == 1
+
 
 # ------------------------------------------------------------ rule scope
 

@@ -28,6 +28,7 @@ from repro.parallel import (
     merge_selections,
     shard_sites,
 )
+from repro.parallel import faults, shm
 from repro.rapids.engine import run_rapids
 from repro.sizing.moves import resize_sites
 from repro.synth.mapper import map_network
@@ -344,6 +345,157 @@ def test_thread_backend_matches_serial_exactly():
     with EvalPool(3, backend="thread", min_sites=1) as pool:
         assert pool.evaluate(engine, library, sites, "sum", 1e-9) == serial
         assert pool.parallel_batches == 1
+
+
+# ----------------------------------------------------------------------
+# chaos: injected faults cost retries and rebuilds, never correctness
+# ----------------------------------------------------------------------
+def _chaos_reference(seed: int, num_gates: int = 35):
+    network, placement, library = _placed_design(seed, num_gates=num_gates)
+    engine = TimingEngine(network, placement, library)
+    engine.analyze()
+    sites = resize_sites(network, library)
+    serial = [
+        best_phase_move(site, engine, library, "min", 1e-9)
+        for site in sites
+    ]
+    return network, engine, library, sites, serial
+
+
+@pytest.mark.skipif(not _FORK_AVAILABLE, reason="no fork start method")
+def test_killed_worker_is_recovered_by_a_pool_rebuild():
+    _, engine, library, sites, serial = _chaos_reference(43)
+    with EvalPool(2, min_sites=1) as pool:
+        with faults.active({"worker": {0: {"action": "kill"}}}):
+            got = pool.evaluate(engine, library, sites, "min", 1e-9)
+        assert got == serial
+        assert pool.fallback_reason is None and pool.active
+        assert pool.health.pool_rebuilds >= 1
+    assert shm.registered_names() == []
+
+
+@pytest.mark.skipif(not _FORK_AVAILABLE, reason="no fork start method")
+def test_worker_exception_is_retried_with_backoff():
+    _, engine, library, sites, serial = _chaos_reference(44)
+    with EvalPool(2, min_sites=1) as pool:
+        with faults.active({"worker": {0: {"action": "exception"}}}):
+            got = pool.evaluate(engine, library, sites, "min", 1e-9)
+        assert got == serial
+        assert pool.fallback_reason is None
+        assert pool.health.worker_exceptions >= 1
+        assert pool.health.shard_retries >= 1
+        assert pool.health.pool_rebuilds == 0  # rung 1 was enough
+    assert shm.registered_names() == []
+
+
+@pytest.mark.skipif(not _FORK_AVAILABLE, reason="no fork start method")
+def test_stale_shard_gets_one_full_resend_before_inline():
+    _, engine, library, sites, serial = _chaos_reference(45)
+    with EvalPool(2, min_sites=1) as pool:
+        with faults.active({"worker": {0: {"action": "stale"}}}):
+            got = pool.evaluate(engine, library, sites, "min", 1e-9)
+        assert got == serial
+        assert pool.fallback_reason is None
+        assert pool.health.stale_recoveries == 1
+        assert pool.health.inline_fallbacks == 0
+    assert shm.registered_names() == []
+
+
+@pytest.mark.skipif(not _FORK_AVAILABLE, reason="no fork start method")
+def test_hung_shard_times_out_and_escalates_to_rebuild():
+    _, engine, library, sites, serial = _chaos_reference(46)
+    with EvalPool(2, min_sites=1, shard_timeout=0.5) as pool:
+        with faults.active(
+            {"worker": {0: {"action": "delay", "seconds": 5.0}}}
+        ):
+            got = pool.evaluate(engine, library, sites, "min", 1e-9)
+        assert got == serial
+        assert pool.fallback_reason is None
+        assert pool.health.shard_timeouts >= 1
+        assert pool.health.pool_rebuilds >= 1
+    assert shm.registered_names() == []
+
+
+@pytest.mark.skipif(not _FORK_AVAILABLE, reason="no fork start method")
+def test_corrupt_delta_forces_full_resend_not_wrong_answers():
+    network, engine, library, sites, serial = _chaos_reference(47, 40)
+    # fail every delta decode; full payloads never consult this point,
+    # so batch 1 and the recovery resends sail through untouched
+    plan = {"corrupt_delta": {i: {"action": "fail"} for i in range(16)}}
+    with EvalPool(2, min_sites=1) as pool:
+        with faults.active(plan):
+            assert pool.evaluate(
+                engine, library, sites, "min", 1e-9
+            ) == serial
+            sites[0].moves[0].apply(network, library)
+            engine.refresh()
+            fresh = resize_sites(network, library)
+            serial2 = [
+                best_phase_move(site, engine, library, "min", 1e-9)
+                for site in fresh
+            ]
+            assert pool.evaluate(
+                engine, library, fresh, "min", 1e-9
+            ) == serial2
+        assert pool.fallback_reason is None
+        assert pool.health.stale_recoveries >= 1
+    assert shm.registered_names() == []
+
+
+@pytest.mark.skipif(not _FORK_AVAILABLE, reason="no fork start method")
+def test_relentless_kills_exhaust_the_ladder_and_degrade_inline():
+    """Rung 3: when every process dies on every attempt, the rebuild
+    budget runs out, the pool degrades, and the batch still completes
+    inline with serial-identical results."""
+    _, engine, library, sites, serial = _chaos_reference(48)
+    plan = {"worker": {i: {"action": "kill"} for i in range(64)}}
+    with EvalPool(2, min_sites=1) as pool:
+        with faults.active(plan):
+            got = pool.evaluate(engine, library, sites, "min", 1e-9)
+        assert got == serial
+        assert not pool.active
+        assert pool.health.degraded_reason is not None
+        assert pool.health.pool_rebuilds == pool.max_pool_rebuilds
+        assert pool.health.inline_fallbacks >= 1
+    assert shm.registered_names() == []
+
+
+@pytest.mark.skipif(not _FORK_AVAILABLE, reason="no fork start method")
+@pytest.mark.parametrize("workers,action", [(2, "kill"), (4, "stale")])
+def test_optimize_trajectory_survives_injected_faults(workers, action):
+    """The whole-run chaos property: a fault plan may change how often
+    the pool retries and rebuilds, never which moves get applied."""
+    from repro.rapids.engine import _gs_factory
+    from repro.sizing.coudert import optimize
+
+    network, placement, library = _placed_design(53, num_gates=45)
+    net_s, pl_s = network.copy(), placement.copy()
+    serial = optimize(
+        net_s, pl_s, library, _gs_factory(library), collect_log=True
+    )
+    assert serial.moves_applied > 0
+    net_c, pl_c = network.copy(), placement.copy()
+    with EvalPool(workers, min_sites=1) as pool:
+        with faults.active({"worker": {0: {"action": action}}}):
+            chaotic = optimize(
+                net_c, pl_c, library, _gs_factory(library),
+                collect_log=True, eval_pool=pool,
+            )
+        assert pool.fallback_reason is None
+        recovered = (
+            pool.health.pool_rebuilds if action == "kill"
+            else pool.health.stale_recoveries
+        )
+        assert recovered >= 1, "the fault never fired"
+    assert chaotic.move_log == serial.move_log
+    assert chaotic.final_delay == serial.final_delay
+    assert chaotic.final_area == serial.final_area
+    assert {
+        g.name: (g.cell, tuple(g.fanins)) for g in net_c.gates()
+    } == {
+        g.name: (g.cell, tuple(g.fanins)) for g in net_s.gates()
+    }
+    assert shm.registered_names() == []
 
 
 # ----------------------------------------------------------------------

@@ -22,6 +22,7 @@ import pytest
 from helpers import random_network
 
 from repro.library.cells import default_library
+from repro.parallel import faults, shm
 from repro.place.placer import place
 from repro.place.regions import carve_regions
 from repro.rapids.partition import reduce_wirelength_partitioned
@@ -197,6 +198,65 @@ def test_remote_selection_actually_runs():
     assert result.workers == 2
     assert result.parallel_rounds > 0
     assert result.fallback_reason is None
+
+
+# ----------------------------------------------------------------------
+# chaos: injected worker faults never change the trajectory
+# ----------------------------------------------------------------------
+_CHAOS_REFERENCE: dict = {}
+
+
+def _chaos_reference():
+    """Serial partitioned run on the chaos design (computed once)."""
+    if not _CHAOS_REFERENCE:
+        network, placement, library = _prepared(51, num_gates=220)
+        net, pl = network.copy(), placement.copy()
+        result = reduce_wirelength_partitioned(
+            net, pl, max_gates=50, max_passes=2, timing_engine=None,
+            workers=1, library=library,
+        )
+        _CHAOS_REFERENCE.update(
+            inputs=(network, placement, library),
+            fanins=_fanins(net),
+            stats=(
+                result.swaps_applied,
+                result.cross_swaps_applied,
+                result.final_hpwl,
+                result.candidates_scored,
+            ),
+        )
+    return _CHAOS_REFERENCE
+
+
+@pytest.mark.parametrize("workers,action", [
+    (2, "kill"), (4, "kill"), (2, "stale"), (4, "stale"),
+])
+def test_partitioned_trajectory_survives_injected_faults(workers, action):
+    """Fault plans (a worker killed mid-shard, a stale delta forcing a
+    full-baseline resend) may only show up in the recovery counters —
+    the rewiring trajectory stays bit-identical to the serial run."""
+    reference = _chaos_reference()
+    network, placement, library = reference["inputs"]
+    net, pl = network.copy(), placement.copy()
+    with faults.active({"worker": {0: {"action": action}}}):
+        result = reduce_wirelength_partitioned(
+            net, pl, max_gates=50, max_passes=2, timing_engine=None,
+            workers=workers, library=library,
+        )
+    assert result.fallback_reason is None
+    recovered = (
+        result.health["pool_rebuilds"] if action == "kill"
+        else result.health["stale_recoveries"]
+    )
+    assert recovered >= 1, "the fault never fired"
+    assert _fanins(net) == reference["fanins"]
+    assert (
+        result.swaps_applied,
+        result.cross_swaps_applied,
+        result.final_hpwl,
+        result.candidates_scored,
+    ) == reference["stats"]
+    assert shm.registered_names() == []
 
 
 def test_inline_without_snapshot_carrier_records_reason():

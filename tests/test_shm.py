@@ -1,0 +1,125 @@
+"""Crash-safe shared-memory lifecycle: registry, hooks, stale sweeper.
+
+``repro.parallel.shm`` owns every ``soa_full`` baseline segment: names
+embed the creating pid, live blocks are registered until released, and
+segments of dead processes are reaped by the sweeper.  The invariant
+the whole PR rests on — no segment remains registered after any run —
+is asserted here directly and re-asserted after every chaos test.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.parallel import shm
+
+pytestmark = pytest.mark.skipif(
+    shm.shared_memory is None, reason="shared_memory unavailable"
+)
+
+
+def test_create_registers_and_release_unregisters():
+    block = shm.create_segment(64)
+    try:
+        assert block.name.startswith(f"{shm.PREFIX}{os.getpid()}_")
+        assert block.size >= 64
+        assert block.name in shm.registered_names()
+    finally:
+        shm.release_segment(block)
+    assert block.name not in shm.registered_names()
+    # idempotent: releasing again (or None) never raises
+    shm.release_segment(block)
+    shm.release_segment(None)
+
+
+def test_release_all_clears_every_registered_segment():
+    blocks = [shm.create_segment(32) for _ in range(3)]
+    names = [block.name for block in blocks]
+    assert set(names) <= set(shm.registered_names())
+    shm.release_all()
+    assert not set(names) & set(shm.registered_names())
+    for name in names:
+        with pytest.raises(FileNotFoundError):
+            shm.shared_memory.SharedMemory(name=name)
+
+
+def test_sweeper_reaps_dead_pids_and_spares_live_ones(tmp_path):
+    # the sweeper only needs the naming scheme, so point it at a
+    # scratch directory instead of touching the real /dev/shm
+    probe = subprocess.run(
+        [sys.executable, "-c", "import os; print(os.getpid())"],
+        capture_output=True, text=True, check=True,
+    )
+    dead_pid = int(probe.stdout)
+    dead = tmp_path / f"{shm.PREFIX}{dead_pid}_1"
+    live = tmp_path / f"{shm.PREFIX}{os.getpid()}_999"
+    foreign = tmp_path / "unrelated_file"
+    for path in (dead, live, foreign):
+        path.write_bytes(b"x")
+    removed = shm.sweep_stale_segments(str(tmp_path))
+    assert removed == [dead.name]
+    assert not dead.exists()
+    assert live.exists()       # our own pid: never reaped
+    assert foreign.exists()    # wrong prefix: never considered
+
+
+def test_sweeper_tolerates_missing_directory():
+    assert shm.sweep_stale_segments("/nonexistent/directory") == []
+
+
+def test_abnormal_exit_leaves_no_segment_behind(tmp_path):
+    """A child that creates a segment and dies (atexit path for normal
+    exit; the sweeper covers SIGKILL) must leak nothing visible to the
+    next run."""
+    script = (
+        "import sys; sys.path.insert(0, sys.argv[1])\n"
+        "from repro.parallel import shm\n"
+        "block = shm.create_segment(128)\n"
+        "print(block.name)\n"
+        "raise SystemExit(1)\n"   # atexit hooks still run
+    )
+    src = os.path.abspath(
+        os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", script, src],
+        capture_output=True, text=True, timeout=60,
+    )
+    name = result.stdout.strip()
+    assert name.startswith(shm.PREFIX)
+    with pytest.raises(FileNotFoundError):
+        shm.shared_memory.SharedMemory(name=name)
+
+
+def test_sigkilled_owner_is_reaped_by_the_next_sweep():
+    """SIGKILL of the whole process group skips every hook *and* the
+    stdlib resource tracker (which is a forked sibling in the same
+    group): the segment genuinely leaks, and survives until a later
+    process's sweep attributes it to a dead pid and unlinks it."""
+    if not os.path.isdir("/dev/shm"):
+        pytest.skip("no /dev/shm on this platform")
+    script = (
+        "import os, signal, sys; sys.path.insert(0, sys.argv[1])\n"
+        "from repro.parallel import shm\n"
+        "block = shm.create_segment(128)\n"
+        "print(block.name, flush=True)\n"
+        "os.killpg(os.getpid(), signal.SIGKILL)\n"
+    )
+    src = os.path.abspath(
+        os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", script, src],
+        capture_output=True, text=True, timeout=60,
+        start_new_session=True,   # own group: killpg spares pytest
+    )
+    name = result.stdout.strip()
+    assert name.startswith(shm.PREFIX)
+    assert os.path.exists(f"/dev/shm/{name}"), "expected a real leak"
+    removed = shm.sweep_stale_segments()
+    assert name in removed
+    assert not os.path.exists(f"/dev/shm/{name}")

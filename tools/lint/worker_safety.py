@@ -44,6 +44,13 @@ RULE = "worker-global"
 
 MARKER = "worker_entry"
 
+#: Functions marked ``@fault_hook`` (repro.parallel.faults) are exempt
+#: from the write checks: they are deterministic env-gated shims whose
+#: only module state is a parsed-plan cache keyed by the immutable env
+#: payload.  Their *callees* are still walked — the exemption covers
+#: the hook body, not everything behind it.
+EXEMPT_MARKER = "fault_hook"
+
 _MUTATING_METHODS = frozenset({
     "add",
     "append",
@@ -108,6 +115,8 @@ def _resolve_call(
 
 
 def _check_function(info: FunctionInfo, findings: list[Finding]) -> None:
+    if EXEMPT_MARKER in decorator_names(info.node):
+        return
     module = info.module
     func = info.node
     globals_of_module = module_level_names(module)
