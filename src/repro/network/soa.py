@@ -218,7 +218,12 @@ class SoAKernel:
             ``consumer_offset[i]:consumer_offset[i+1]`` lists every
             (gate position, pin index) pair reading the net — plus the
             originating fanin-CSR slot — grouped by net in stable
-            fanin-slot order.
+            fanin-slot order;
+        ``po_counts``
+            primary-output listings per net (int64);
+            ``consumer_counts + po_counts`` is the array form of
+            :meth:`~repro.network.netlist.Network.fanout_degree`, the
+            boundary test of supergate growth and symmetry coloring.
         """
         if np is None:
             return None
@@ -308,6 +313,10 @@ def _build_arrays(compiled: CompiledNetwork) -> dict:
         "consumer_gate": owner[order],
         "consumer_pin": slot_pin[order],
         "consumer_slot": order,
+        "po_counts": np.bincount(
+            np.asarray(compiled.po_index, dtype=np.int64),
+            minlength=num_nets,
+        ).astype(np.int64),
     }
 
 

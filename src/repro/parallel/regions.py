@@ -47,7 +47,9 @@ def _select_regions_in_worker(
 ) -> tuple[str, tuple | None]:
     """Worker entry: rebuild engines from the snapshot, select a shard.
 
-    *shard* holds ``(order, (region_index, pairs, crosses))`` tuples.
+    *shard* holds ``(order, (region_index, pairs, crosses, klass))``
+    tuples (*klass* being pre-verified coloring class-swap candidates,
+    empty unless the partitioned run enabled ``class_swaps``).
     Returns ``("stale", None)`` when the snapshot delta references a
     baseline this process never cached (the parent then resends the
     full baseline once before selecting the shard inline), else
@@ -74,11 +76,11 @@ def _select_regions_in_worker(
         gate = _TimingGate(TimingEngine.from_eval_state(state), margin)
     scored_before = engine.candidates_scored
     selections = []
-    for order, (region_index, pairs, crosses) in shard:
+    for order, (region_index, pairs, crosses, klass) in shard:
         del region_index  # selection is region-agnostic; kept for logs
         selections.append(
             (order, _select_batch(
-                network, engine, pairs, crosses, min_gain, gate,
+                network, engine, pairs, crosses, klass, min_gain, gate,
             ))
         )
     rejected = sorted(gate.rejected_keys) if gate is not None else []

@@ -102,6 +102,12 @@ class WirelengthResult:
     #: Batches whose drift exceeded the tolerance and fell back to
     #: re-pricing from the refreshed engine.
     drift_repricings: int = 0
+    #: Coloring-sourced cross-supergate swaps committed (class_swaps).
+    class_swaps_applied: int = 0
+    #: Class candidates that passed the simulation gate into batches.
+    class_candidates_verified: int = 0
+    #: Class candidates the simulation gate refuted (never batched).
+    class_candidates_rejected: int = 0
 
     @property
     def improvement_percent(self) -> float:
@@ -243,6 +249,7 @@ def reduce_wirelength(
     engine: WirelengthEngine | None = None,
     timing_engine: TimingEngine | None = None,
     slack_margin: float = 0.0,
+    class_swaps: bool = False,
 ) -> WirelengthResult:
     """Shorten estimated wiring by symmetry-based rewiring.
 
@@ -261,6 +268,16 @@ def reduce_wirelength(
     default margin of 0.0 guarantees the polish never degrades the
     re-timed delay.  Negative margins permit bounded degradation,
     positive margins keep a safety band.
+
+    *class_swaps* (batched path only, default off) adds the
+    whole-netlist coloring candidate source: pins reading structurally
+    identical nets (:mod:`repro.symmetry.coloring`) become swap
+    candidates the per-supergate enumeration cannot see.  Each is
+    verified by simulation
+    (:func:`~repro.symmetry.verify.nets_functionally_equal`) before it
+    may enter a batch, carries a cone-wide conflict footprint, and is
+    considered on the first commit iteration of each pass only —
+    trajectories with the knob off are unchanged.
     """
     gate = (
         _TimingGate(timing_engine, slack_margin)
@@ -269,7 +286,7 @@ def reduce_wirelength(
     if batched:
         return _reduce_batched(
             network, placement, max_passes, min_gain, include_cross,
-            engine, gate,
+            engine, gate, class_swaps,
         )
     return _reduce_greedy(network, placement, max_passes, min_gain, gate)
 
@@ -332,6 +349,7 @@ def _reduce_batched(
     include_cross: bool,
     engine: WirelengthEngine | None,
     gate: _TimingGate | None,
+    class_swaps: bool = False,
 ) -> WirelengthResult:
     from .engine import SupergateCache
 
@@ -342,6 +360,9 @@ def _reduce_batched(
     initial = engine.total_hpwl()
     leaf_applied = 0
     cross_applied = 0
+    klass_applied = 0
+    klass_verified = 0
+    klass_rejected = 0
     passes = 0
     scored_before = engine.candidates_scored
     for _ in range(max_passes):
@@ -351,18 +372,27 @@ def _reduce_batched(
         crosses = (
             _pure_crosses(sgn) if include_cross else []
         )
+        klass: list[tuple[Pin, Pin, frozenset[str]]] = []
+        if class_swaps:
+            # re-verified every pass: the premise (identical cone
+            # functions) must hold on the *current* netlist
+            klass, rejected = verified_class_swaps(network)
+            klass_verified += len(klass)
+            klass_rejected += rejected
         pass_applied = 0
         first_iteration = True
         while True:
-            leaves, crossings = _commit_batch(
+            leaves, crossings, klasses = _commit_batch(
                 network, engine, sgn, pairs,
-                crosses if first_iteration else [], min_gain, gate,
+                crosses if first_iteration else [],
+                klass if first_iteration else [], min_gain, gate,
             )
             first_iteration = False
             leaf_applied += leaves
             cross_applied += crossings
-            pass_applied += leaves + crossings
-            if leaves + crossings == 0:
+            klass_applied += klasses
+            pass_applied += leaves + crossings + klasses
+            if leaves + crossings + klasses == 0:
                 break
         if pass_applied == 0:
             break
@@ -374,6 +404,9 @@ def _reduce_batched(
         mode="batched",
         cross_swaps_applied=cross_applied,
         candidates_scored=engine.candidates_scored - scored_before,
+        class_swaps_applied=klass_applied,
+        class_candidates_verified=klass_verified,
+        class_candidates_rejected=klass_rejected,
     )
     _attach_timing_stats(result, gate)
     return result
@@ -414,6 +447,37 @@ def _leaf_pairs(sgn, network: Network) -> list[tuple[str, Pin, Pin]]:
     return pairs
 
 
+def verified_class_swaps(
+    network: Network,
+    cap: int = 32,
+    coloring=None,
+) -> tuple[list[tuple[Pin, Pin, frozenset[str]]], int]:
+    """Simulation-verified cross-supergate class-swap candidates.
+
+    Generates class-mate pin pairs from whole-netlist cone coloring
+    (:func:`~repro.symmetry.coloring.class_swap_candidates`) and keeps
+    only the pairs whose nets a simulation sweep confirms functionally
+    identical — the verification gate the differential test harness
+    pins down.  Returns ``(candidates, rejected)`` where each
+    candidate is ``(pin_a, pin_b, cone-wide footprint)``; applying one
+    is a plain ``swap_fanins``, so pricing and slack projection reuse
+    the leaf-swap machinery unchanged.
+    """
+    from ..symmetry.coloring import class_swap_candidates, color_network
+    from ..symmetry.verify import nets_functionally_equal
+
+    if coloring is None:
+        coloring = color_network(network)
+    verified: list[tuple[Pin, Pin, frozenset[str]]] = []
+    rejected = 0
+    for cand in class_swap_candidates(network, coloring, cap=cap):
+        if nets_functionally_equal(network, cand.net_a, cand.net_b):
+            verified.append((cand.pin_a, cand.pin_b, cand.footprint))
+        else:
+            rejected += 1
+    return verified, rejected
+
+
 def _pure_crosses(sgn) -> list[tuple[CrossSwap, list[tuple[Pin, str]]]]:
     """Cross swaps that move wires only (no inverter is ever added)."""
     pure: list[tuple[CrossSwap, list[tuple[Pin, str]]]] = []
@@ -429,6 +493,7 @@ def _select_batch(
     engine: WirelengthEngine,
     pairs: list[tuple[str, Pin, Pin]],
     crosses: list[tuple[CrossSwap, list[tuple[Pin, str]]]],
+    klass: list[tuple[Pin, Pin, frozenset[str]]],
     min_gain: float,
     gate: _TimingGate | None,
 ) -> list[tuple[int, object, object, frozenset[str]]]:
@@ -480,6 +545,19 @@ def _select_batch(
                  (cross.parent_root, cross.sg1_root, cross.sg2_root),
                  footprint, (cross, bindings), tuple(bindings))
             )
+    # coloring-sourced class swaps: priced exactly like leaf swaps
+    # (the move *is* a swap_fanins), but carrying the cone-wide
+    # footprint that protects their verified functional premise
+    klass_deltas = engine.score_swaps(
+        [(pin_a, pin_b) for pin_a, pin_b, _ in klass]
+    ) if klass else []
+    for (pin_a, pin_b, footprint), delta in zip(klass, klass_deltas):
+        if delta < -min_gain:
+            candidates.append(
+                (delta, 2, (pin_a, pin_b), set(footprint),
+                 (pin_a, pin_b),
+                 swap_bindings(network, pin_a, pin_b))
+            )
     candidates.sort(key=lambda item: (item[0], item[1], item[2]))
     admissible = (
         gate.prefilter([item[5] for item in candidates])
@@ -514,25 +592,30 @@ def _apply_batch(
     network: Network,
     sgn,
     accepted: list[tuple[int, object, object, frozenset[str]]],
-) -> tuple[int, int]:
-    """Commit an accepted selection in order; returns (leaves, crosses).
+) -> tuple[int, int, int]:
+    """Commit an accepted selection in order.
 
-    The only mutation point of the batched path: everything upstream
+    Returns ``(leaves, crosses, class_swaps)``.  The only mutation
+    point of the batched path: everything upstream
     (:func:`_select_batch`) is projection-only.  Callers that batch
     multiple selections per timing refold (the partitioned round
     committer) invoke ``gate.refold`` themselves.
     """
-    leaves = crossings = 0
+    leaves = crossings = klasses = 0
     for kind, payload, _projection, _footprint in accepted:
         if kind == 0:
             pin_a, pin_b = payload
             network.swap_fanins(pin_a, pin_b)
             leaves += 1
+        elif kind == 2:
+            pin_a, pin_b = payload
+            network.swap_fanins(pin_a, pin_b)
+            klasses += 1
         else:
             cross, _bindings = payload
             apply_cross_swap(network, sgn, cross)
             crossings += 1
-    return leaves, crossings
+    return leaves, crossings, klasses
 
 
 def _commit_batch(
@@ -541,16 +624,19 @@ def _commit_batch(
     sgn,
     pairs: list[tuple[str, Pin, Pin]],
     crosses: list[tuple[CrossSwap, list[tuple[Pin, str]]]],
+    klass: list[tuple[Pin, Pin, frozenset[str]]],
     min_gain: float,
     gate: _TimingGate | None,
-) -> tuple[int, int]:
+) -> tuple[int, int, int]:
     """One select + apply + refold iteration (see :func:`_select_batch`).
 
     All accepted moves are committed and the engine re-folds once,
     with the drift fallback documented on :class:`_TimingGate`.
     """
-    accepted = _select_batch(network, engine, pairs, crosses, min_gain, gate)
-    leaves, crossings = _apply_batch(network, sgn, accepted)
+    accepted = _select_batch(
+        network, engine, pairs, crosses, klass, min_gain, gate
+    )
+    leaves, crossings, klasses = _apply_batch(network, sgn, accepted)
     if gate is not None and accepted:
         gate.refold([p for _, _, p, _ in accepted if p is not None])
-    return leaves, crossings
+    return leaves, crossings, klasses

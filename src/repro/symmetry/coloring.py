@@ -1,0 +1,687 @@
+"""Whole-netlist symmetry detection by iterated color refinement.
+
+The paper finds symmetries one supergate at a time; the fibration-
+symmetry literature (arXiv 2305.19367, arXiv 1908.10923) shows the
+same input-tree equivalence classes fall out of an iterated coloring
+of the whole graph in near-linear time.  This module runs that pass
+over the shared SoA kernel arrays (:func:`repro.network.soa.get_soa`
+— opcode/invert columns plus the fanin CSR) and produces three
+coordinated partitions in one bottom-up sweep:
+
+* **cone colors** — one digest per net, refined bottom-up from the
+  fanin CSR: primary inputs seed with their own identity, every gate
+  hashes ``(opcode, invert, sorted fanin colors)``.  Equal cone colors
+  therefore certify *structurally identical* input trees over the same
+  primary inputs — two class-mate nets compute the same function, so
+  exchanging their consumers' wires anywhere in the netlist is
+  function-preserving.  This is the cross-supergate candidate source
+  the per-supergate walk cannot see.
+* **shape colors** — one digest per gate, seeded anonymously (primary
+  inputs, constants and multi-fanout stems collapse to one boundary
+  token) and refined in *pin order* without sorting.  Equal shape
+  colors certify that supergate growth from the two gates traverses
+  pin-for-pin isomorphic regions, so one extraction can be grafted
+  onto every class member (:func:`extract_supergates_colored`).
+* **leaf symmetry classes** — the array-native mirror of the paper's
+  supergate walk: gates are partitioned into implication regions in
+  one reverse-topological sweep over the same arrays, and every
+  boundary pin is classed by ``(region root, implied value)``.  Two
+  distinct-net class mates are exactly a legal non-inverting swap;
+  opposite implied values under one root are the inverting kind — the
+  differential harness (``tests/test_coloring.py``) pins both claims
+  to the simulation verifiers and asserts the per-supergate
+  enumeration is rediscovered class-for-class.
+
+:class:`NetlistColoring` keeps a coloring fresh across mutations: pin
+rewires (``replace_fanin`` / ``swap_fanins``) are absorbed by an
+incremental recoloring worklist that re-hashes only the touched
+transitive fanout with early cutoff (the classic refinement update);
+structural kinds fall back to a full recoloring, exactly like the SoA
+kernel itself.  Leaf classes depend on region membership — which a
+rewire *can* change (a swapped-in net may be absorbable where the old
+one was not) — so they are rebuilt lazily from the repaired colors.
+
+Everything here is ``PYTHONHASHSEED``-independent: digests come from
+``hashlib`` and every iteration order is derived from array positions
+or sorted names, never from set/dict hashing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import deque
+from dataclasses import dataclass
+
+from ..logic.simcore.compiled import (
+    OP_AND,
+    OP_BUF,
+    OP_CONST0,
+    OP_CONST1,
+    OP_OR,
+    OP_XOR,
+    _OPCODE,
+)
+from ..network import events
+from ..network.gatetype import CONST_TYPES
+from ..network.netlist import Network, Pin
+from ..network.soa import get_soa
+from .supergate import (
+    SgLeaf,
+    Supergate,
+    SupergateNetwork,
+    grow_supergate,
+)
+
+#: Opt-in to the determinism lint (rule D of ``python -m tools.lint``).
+__deterministic__ = True
+
+_CONST_OPS = (OP_CONST0, OP_CONST1)
+
+#: Structural kinds (plus the meta kinds) that invalidate the whole
+#: coloring: index spaces shift, gates appear/disappear, IO bindings
+#: move region boundaries.  Pin rewires are repaired incrementally.
+_FULL_KINDS = frozenset({
+    events.SET_FANINS,
+    events.SET_GATE_TYPE,
+    events.ADD_GATE,
+    events.REMOVE_GATE,
+    events.ADD_INPUT,
+    events.ADD_OUTPUT,
+    events.REPLACE_OUTPUT,
+    events.RESTORE,
+    events.UNKNOWN,
+})
+
+
+def _digest(*parts: str) -> str:
+    """PYTHONHASHSEED-independent digest of an ordered token sequence."""
+    h = hashlib.blake2b(digest_size=12)
+    for part in parts:
+        h.update(part.encode())
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+@dataclass
+class Coloring:
+    """One fixpoint of the refinement over a network snapshot.
+
+    All maps are name-keyed (nets and :class:`Pin` objects), so a
+    coloring survives the index reshuffling of a later recompile and
+    can be repaired in place by :class:`NetlistColoring`.
+    """
+
+    network_version: int
+    #: net -> cone color (PI-identity-aware; equal = identical function)
+    cone: dict[str, str]
+    #: gate -> region-shape color (PI-anonymous, boundary-truncated,
+    #: pin-order; equal = pin-isomorphic supergate growth)
+    shape: dict[str, str]
+    #: boundary pin -> (region root, implied value or "x" for xor)
+    leaf_class: dict[Pin, "tuple[str, int | str]"]
+
+    def net_classes(self) -> "list[tuple[str, list[str]]]":
+        """Gate-driven nets grouped by cone color, classes of size >= 2.
+
+        Deterministic: members sorted by name, classes by first member.
+        Primary inputs are excluded — their colors are unique by
+        construction, so they never have class mates.
+        """
+        groups: dict[str, list[str]] = {}
+        for net in sorted(self.shape):
+            groups.setdefault(self.cone[net], []).append(net)
+        return sorted(
+            ((digest, nets) for digest, nets in groups.items()
+             if len(nets) > 1),
+            key=lambda item: item[1][0],
+        )
+
+    def symmetry_classes(self) -> "list[tuple[tuple[str, int | str], list[Pin]]]":
+        """Leaf pins grouped by ``(region root, tag)``, sorted.
+
+        Every distinct-net pair inside one class is a claimed
+        non-inverting symmetry; pairs across the 0/1 tags of one root
+        are the inverting kind (xor regions carry the single tag
+        ``"x"`` and admit both).  The differential suite verifies each
+        claim by simulation.
+        """
+        groups: dict[tuple, list[Pin]] = {}
+        for pin in sorted(self.leaf_class):
+            groups.setdefault(self.leaf_class[pin], []).append(pin)
+        return sorted(groups.items())
+
+
+def color_network(network: Network) -> Coloring:
+    """Run the full refinement over the network's SoA kernel arrays."""
+    kernel = get_soa(network)
+    compiled = kernel.sync()
+    num_inputs = compiled.num_inputs
+    num_gates = compiled.num_gates
+    opcode = compiled.opcode
+    invert = compiled.invert
+    offset = compiled.fanin_offset
+    flat = compiled.fanin_flat
+    names = compiled.gate_names
+    degree = _net_degrees(network, kernel, compiled)
+
+    # cone colors: one topological sweep; position order IS topo order
+    cone_ix: list[str] = [
+        _digest("pi", name) for name in compiled.inputs
+    ] + [""] * num_gates
+    # shape colors share the sweep; "B" marks a growth boundary
+    shape_ix: list[str] = [""] * num_gates
+    for position in range(num_gates):
+        op = opcode[position]
+        inv = "1" if invert[position] else "0"
+        if op in _CONST_OPS:
+            cone_ix[num_inputs + position] = _digest("const", str(op))
+            shape_ix[position] = _digest("shape", str(op), inv)
+            continue
+        children = flat[offset[position]:offset[position + 1]]
+        cone_ix[num_inputs + position] = _digest(
+            "cone", str(op), inv,
+            *sorted(cone_ix[child] for child in children),
+        )
+        tokens = []
+        for child in children:
+            if (
+                child < num_inputs
+                or degree[child] > 1
+                or opcode[child - num_inputs] in _CONST_OPS
+            ):
+                tokens.append("B")
+            else:
+                tokens.append(shape_ix[child - num_inputs])
+        shape_ix[position] = _digest("shape", str(op), inv, *tokens)
+
+    leaf_class = _leaf_classes(compiled, degree)
+    cone = {name: cone_ix[index] for index, name in enumerate(compiled.inputs)}
+    for position, name in enumerate(names):
+        cone[name] = cone_ix[num_inputs + position]
+    return Coloring(
+        network_version=network.version,
+        cone=cone,
+        shape={
+            name: shape_ix[position] for position, name in enumerate(names)
+        },
+        leaf_class=leaf_class,
+    )
+
+
+def _net_degrees(network: Network, kernel, compiled) -> list[int]:
+    """Sink-pin count plus primary-output listings, per net index."""
+    arrays = kernel.arrays()
+    if arrays is not None:
+        return (
+            arrays["consumer_counts"] + arrays["po_counts"]
+        ).tolist()
+    degree = [0] * compiled.num_nets
+    for index in compiled.fanin_flat:
+        degree[index] += 1
+    for index in compiled.po_index:
+        degree[index] += 1
+    return degree
+
+
+def _leaf_classes(compiled, degree: list[int]) -> dict[Pin, tuple]:
+    """Array-native implication regions: boundary pins -> (root, tag).
+
+    Mirrors the paper's supergate growth (wire-chain resolution, and-or
+    backward implication, xor propagation) over the flat arrays in one
+    reverse-topological sweep — the structural facts (gate opcodes,
+    fanout degrees) fully determine the partition, so the result must
+    agree with :func:`~repro.symmetry.supergate.extract_supergates`
+    leaf-for-leaf (the differential suite asserts it).
+    """
+    num_inputs = compiled.num_inputs
+    num_gates = compiled.num_gates
+    opcode = compiled.opcode
+    invert = compiled.invert
+    offset = compiled.fanin_offset
+    flat = compiled.fanin_flat
+    names = compiled.gate_names
+    covered = [False] * num_gates
+    leaf_class: dict[Pin, tuple] = {}
+
+    def is_boundary(net: int) -> bool:
+        return (
+            net < num_inputs
+            or degree[net] > 1
+            or opcode[net - num_inputs] in _CONST_OPS
+        )
+
+    for root in range(num_gates - 1, -1, -1):
+        if covered[root]:
+            continue
+        covered[root] = True
+        if opcode[root] in _CONST_OPS:
+            continue
+        # resolve the fanout-free wire chain down to the class core
+        core = root
+        while opcode[core] == OP_BUF:
+            child = flat[offset[core]]
+            if is_boundary(child):
+                core = -1  # wire-only region: a single leaf, no swaps
+                break
+            core = child - num_inputs
+            covered[core] = True
+        if core < 0:
+            continue
+        root_name = names[root]
+        if opcode[core] == OP_XOR:
+            stack = [
+                (core, pin) for pin in
+                range(offset[core + 1] - offset[core])
+            ]
+            while stack:
+                gate, pin = stack.pop()
+                child = flat[offset[gate] + pin]
+                if is_boundary(child) or opcode[child - num_inputs] not in (
+                    OP_XOR, OP_BUF
+                ):
+                    leaf_class[Pin(names[gate], pin)] = (root_name, "x")
+                    continue
+                driver = child - num_inputs
+                covered[driver] = True
+                stack.extend(
+                    (driver, index) for index in
+                    range(offset[driver + 1] - offset[driver])
+                )
+        else:
+            seed = 1 if opcode[core] == OP_AND else 0
+            stack = [
+                (core, pin, seed) for pin in
+                range(offset[core + 1] - offset[core])
+            ]
+            while stack:
+                gate, pin, value = stack.pop()
+                child = flat[offset[gate] + pin]
+                if is_boundary(child):
+                    leaf_class[Pin(names[gate], pin)] = (root_name, value)
+                    continue
+                driver = child - num_inputs
+                base = value ^ (1 if invert[driver] else 0)
+                op = opcode[driver]
+                if op == OP_BUF:
+                    implied = base
+                elif op == OP_AND and base == 1:
+                    implied = 1
+                elif op == OP_OR and base == 0:
+                    implied = 0
+                else:
+                    leaf_class[Pin(names[gate], pin)] = (root_name, value)
+                    continue
+                covered[driver] = True
+                stack.extend(
+                    (driver, index, implied) for index in
+                    range(offset[driver + 1] - offset[driver])
+                )
+    return leaf_class
+
+
+class NetlistColoring:
+    """A coloring kept fresh across the mutation-event stream.
+
+    ``replace_fanin`` / ``swap_fanins`` are absorbed incrementally: the
+    rewired gates seed a worklist that re-hashes cone and shape colors
+    through the transitive fanout, stopping as soon as a digest stops
+    changing.  Leaf classes are invalidated by *any* rewire (the new
+    driver may be absorbable where the old one was not) and rebuilt
+    lazily from the arrays on the next :meth:`get`.  Structural kinds
+    and untracked mutations fall back to a full recoloring.
+    """
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+        self.full_colorings = 0
+        self.cone_repairs = 0
+        self.nodes_recolored = 0
+        self.region_rebuilds = 0
+        self._coloring: Coloring | None = None
+        self._stale = True
+        self._regions_stale = False
+        self._dirty: list[str] = []
+        network.subscribe(self)
+
+    def notify_network_event(self, kind: str, data: dict) -> None:
+        if kind == events.REPLACE_FANIN:
+            if not self._stale:
+                self._dirty.append(data["pin"].gate)
+                # the rewire changes both nets' fanout degrees, which
+                # flips other consumers' boundary ("B") shape tokens —
+                # their gates must re-hash too (a pin *swap* preserves
+                # both degrees, so SWAP_FANINS needs no such seeding)
+                for net in (data["old"], data["new"]):
+                    for pin in self.network.fanout(net):
+                        self._dirty.append(pin.gate)
+                self._regions_stale = True
+        elif kind == events.SWAP_FANINS:
+            if not self._stale:
+                self._dirty.append(data["pin_a"].gate)
+                self._dirty.append(data["pin_b"].gate)
+                self._regions_stale = True
+        elif kind == events.SET_CELL:
+            pass  # cell bindings never enter any color
+        elif kind in _FULL_KINDS:
+            self._stale = True
+        else:
+            self._stale = True
+
+    def get(self) -> Coloring:
+        """Current coloring, repaired or rebuilt as needed."""
+        network = self.network
+        coloring = self._coloring
+        if (
+            self._stale
+            or coloring is None
+            or (not self._dirty and not self._regions_stale
+                and coloring.network_version != network.version)
+        ):
+            self._coloring = color_network(network)
+            self.full_colorings += 1
+            self._stale = False
+            self._regions_stale = False
+            self._dirty.clear()
+            return self._coloring
+        if self._dirty:
+            self._repair(coloring)
+        if self._regions_stale:
+            kernel = get_soa(network)
+            compiled = kernel.sync()
+            coloring.leaf_class = _leaf_classes(
+                compiled, _net_degrees(network, kernel, compiled)
+            )
+            self.region_rebuilds += 1
+            self._regions_stale = False
+        coloring.network_version = network.version
+        return coloring
+
+    def _repair(self, coloring: Coloring) -> None:
+        """Re-hash the touched transitive fanout with early cutoff."""
+        network = self.network
+        queue = deque(sorted(set(self._dirty)))
+        queued = set(queue)
+        self._dirty.clear()
+        self.cone_repairs += 1
+        while queue:
+            name = queue.popleft()
+            queued.discard(name)
+            if name not in network or network.is_input(name):
+                continue
+            new_cone, new_shape = self._recolor(network, coloring, name)
+            if (
+                new_cone == coloring.cone.get(name)
+                and new_shape == coloring.shape.get(name)
+            ):
+                continue
+            coloring.cone[name] = new_cone
+            coloring.shape[name] = new_shape
+            self.nodes_recolored += 1
+            for pin in network.fanout(name):
+                if pin.gate not in queued:
+                    queued.add(pin.gate)
+                    queue.append(pin.gate)
+
+    @staticmethod
+    def _recolor(
+        network: Network, coloring: Coloring, name: str
+    ) -> tuple[str, str]:
+        """One gate's cone and shape digests from current child colors.
+
+        Token-for-token the same formulas as :func:`color_network`, so
+        a repaired coloring is digest-identical to a fresh pass.
+        """
+        gate = network.gate(name)
+        op, inv_flag = _OPCODE[gate.gtype]
+        inv = "1" if inv_flag else "0"
+        if gate.gtype in CONST_TYPES:
+            return _digest("const", str(op)), _digest("shape", str(op), inv)
+        cone = _digest(
+            "cone", str(op), inv,
+            *sorted(coloring.cone[net] for net in gate.fanins),
+        )
+        tokens = []
+        for net in gate.fanins:
+            driver = network.driver(net)
+            if (
+                driver is None
+                or driver.gtype in CONST_TYPES
+                or network.fanout_degree(net) > 1
+            ):
+                tokens.append("B")
+            else:
+                tokens.append(coloring.shape[net])
+        return cone, _digest("shape", str(op), inv, *tokens)
+
+
+# ----------------------------------------------------------------------
+# shape-color-deduplicated supergate extraction
+# ----------------------------------------------------------------------
+@dataclass
+class _SupergateTemplate:
+    """Name-free replay recipe for one grown supergate.
+
+    Covered gates are numbered by their position in ``covered`` (root
+    is 0); internal tree edges are recorded as ``(parent id, pin)``
+    pairs, so instantiation resolves each gate by reading the live
+    fanin wiring — no implication or gate evaluation re-runs.
+    """
+
+    sg_class: object
+    root_value: int | None
+    gtypes: list[object]
+    parents: list[tuple[int, int] | None]
+    leaves: list[tuple[int, int, int | None, int]]
+    pin_values: list[tuple[int, int, int | None]]
+
+    @classmethod
+    def of(cls, network: Network, sg: Supergate) -> "_SupergateTemplate":
+        index = {name: rel for rel, name in enumerate(sg.covered)}
+        parents: list[tuple[int, int] | None] = [None] * len(sg.covered)
+        for name, pin in sg.parent_pin.items():
+            parents[index[name]] = (index[pin.gate], pin.index)
+        return cls(
+            sg_class=sg.sg_class,
+            root_value=sg.root_value,
+            gtypes=[network.gate(name).gtype for name in sg.covered],
+            parents=parents,
+            leaves=[
+                (index[leaf.pin.gate], leaf.pin.index, leaf.imp_value,
+                 leaf.depth)
+                for leaf in sg.leaves
+            ],
+            pin_values=[
+                (index[pin.gate], pin.index, value)
+                for pin, value in sg.pin_values.items()
+            ],
+        )
+
+    def instantiate(self, network: Network, root: str) -> Supergate | None:
+        """Replay onto *root*, or ``None`` when the region differs.
+
+        Validation is structural, not hash-trusting: every resolved
+        gate's type must match the recording and every internal edge
+        must still be fanout-free, so even a digest collision degrades
+        to a fresh :func:`~repro.symmetry.supergate.grow_supergate`.
+        """
+        if network.gate(root).gtype is not self.gtypes[0]:
+            return None
+        names: list[str] = [root]
+        parent_pin: dict[str, Pin] = {}
+        for rel in range(1, len(self.gtypes)):
+            parent = self.parents[rel]
+            if parent is None:
+                return None
+            pin = Pin(names[parent[0]], parent[1])
+            net = network.fanin_net(pin)
+            driver = network.driver(net)
+            if (
+                driver is None
+                or driver.gtype is not self.gtypes[rel]
+                or network.fanout_degree(net) != 1
+            ):
+                return None
+            names.append(driver.name)
+            parent_pin[driver.name] = pin
+        leaves = [
+            SgLeaf(
+                pin=Pin(names[rel], pin_index),
+                net=network.fanin_net(Pin(names[rel], pin_index)),
+                imp_value=imp_value,
+                depth=depth,
+            )
+            for rel, pin_index, imp_value, depth in self.leaves
+        ]
+        return Supergate(
+            root=root,
+            sg_class=self.sg_class,
+            root_value=self.root_value,
+            covered=list(names),
+            leaves=leaves,
+            pin_values={
+                Pin(names[rel], pin_index): value
+                for rel, pin_index, value in self.pin_values
+            },
+            parent_pin=parent_pin,
+        )
+
+
+@dataclass
+class DedupStats:
+    """Extraction-dedup accounting for one colored extraction."""
+
+    grown: int = 0
+    grafted: int = 0
+    fallbacks: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.grown + self.grafted + self.fallbacks
+        return self.grafted / total if total else 0.0
+
+
+def extract_supergates_colored(
+    network: Network,
+    coloring: Coloring | None = None,
+    stats: DedupStats | None = None,
+) -> SupergateNetwork:
+    """Supergate extraction deduplicated by shape-color classes.
+
+    Identical to :func:`~repro.symmetry.supergate.extract_supergates`
+    result-for-result (covered order, leaf order and pin-value
+    insertion order included — the differential suite asserts full
+    equality), but each region *shape* is grown only once: later roots
+    of the same shape class replay the recorded template against the
+    live wiring instead of re-running implication growth.
+    """
+    if coloring is None:
+        coloring = color_network(network)
+    if stats is None:
+        stats = DedupStats()
+    templates: dict[str, _SupergateTemplate] = {}
+    owner: dict[str, str] = {}
+    supergates: dict[str, Supergate] = {}
+    for name in reversed(network.topo_order()):
+        if name in owner:
+            continue
+        key = coloring.shape.get(name)
+        template = templates.get(key) if key is not None else None
+        sg = None
+        if template is not None:
+            sg = template.instantiate(network, name)
+            if sg is None:
+                stats.fallbacks += 1
+            else:
+                stats.grafted += 1
+        if sg is None:
+            sg = grow_supergate(network, name)
+            if template is None and key is not None:
+                templates[key] = _SupergateTemplate.of(network, sg)
+            if template is None:
+                stats.grown += 1
+        for covered_name in sg.covered:
+            owner[covered_name] = name
+        supergates[name] = sg
+    return SupergateNetwork(
+        network=network,
+        supergates=supergates,
+        owner=owner,
+        network_version=network.version,
+    )
+
+
+# ----------------------------------------------------------------------
+# cross-supergate candidate generation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ClassSwap:
+    """A cross-supergate swap candidate from a cone-color class.
+
+    ``pin_a`` / ``pin_b`` read the two class-mate nets; because the
+    nets compute identical functions, exchanging them is function-
+    preserving *given the current state of both cones* — so the
+    ``footprint`` covers every net of both cones **and every net read
+    by a cone gate**: any other batched move rewires some pin, that
+    pin's driving nets are in its own footprint, and if the pin sits
+    on a cone gate (the only way to change either verified function)
+    its driving net is a cone-gate fanin — the net-disjointness rule
+    of the conflict-free committer then serializes the two moves.
+    """
+
+    pin_a: Pin
+    pin_b: Pin
+    net_a: str
+    net_b: str
+    footprint: frozenset[str]
+
+
+def class_swap_candidates(
+    network: Network,
+    coloring: Coloring,
+    cap: int = 32,
+    max_cone_gates: int = 48,
+) -> list[ClassSwap]:
+    """Swap candidates between cone-color class mates, unverified.
+
+    Deterministic: classes and members iterate in sorted order,
+    consecutive members pair, the lexicographically first consumer pin
+    represents each net.  Candidates whose joint cone exceeds
+    *max_cone_gates* are skipped (the footprint — and the simulation
+    filter the caller must run — would be too wide), as are pairs
+    where either consumer sits inside the other net's cone (the swap
+    would create a combinational cycle).  The caller is responsible
+    for the simulation gate — see
+    :func:`repro.symmetry.verify.nets_functionally_equal`.
+    """
+    out: list[ClassSwap] = []
+    for _digest_key, nets in coloring.net_classes():
+        for net_a, net_b in zip(nets, nets[1:]):
+            if len(out) >= cap:
+                return out
+            pins_a = network.fanout(net_a)
+            pins_b = network.fanout(net_b)
+            if not pins_a or not pins_b:
+                continue
+            pin_a = min(pins_a)
+            pin_b = min(pins_b)
+            cone_a = network.fanin_cone(net_a)
+            cone_b = network.fanin_cone(net_b)
+            if len(cone_a) + len(cone_b) > max_cone_gates:
+                continue
+            if pin_a.gate in cone_b or pin_b.gate in cone_a:
+                continue
+            span = {net_a, net_b}
+            for name in cone_a | cone_b:
+                span.add(name)
+                span.update(network.gate(name).fanins)
+            footprint = frozenset(span)
+            out.append(
+                ClassSwap(
+                    pin_a=pin_a,
+                    pin_b=pin_b,
+                    net_a=net_a,
+                    net_b=net_b,
+                    footprint=footprint,
+                )
+            )
+    return out

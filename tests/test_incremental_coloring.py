@@ -1,0 +1,159 @@
+"""Incremental recoloring must match a fresh full coloring, always.
+
+Property (the shape of ``test_incremental_sta.py``): after an
+arbitrary sequence of committed pin rewires, the event-driven
+:class:`~repro.symmetry.coloring.NetlistColoring` reports cone colors,
+shape colors and leaf symmetry classes identical to a from-scratch
+:func:`~repro.symmetry.coloring.color_network` — while performing
+exactly one full coloring for the initial state (rewire-only
+sequences are absorbed by the repair worklist).  Structural mutations
+and untracked ``_touch()`` calls must fall back to a full recoloring
+and still agree.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.network.gatetype import GateType
+from repro.symmetry.coloring import NetlistColoring, color_network
+from repro.symmetry.supergate import extract_supergates
+from repro.symmetry.swap import enumerate_swaps
+
+from helpers import random_network
+
+
+def prepared(seed):
+    return random_network(
+        seed, num_inputs=8, num_gates=40, num_outputs=4, reuse=0.7
+    )
+
+
+def assert_matches_fresh(tracker, network, context=""):
+    """Every maintained partition equals a from-scratch coloring."""
+    fresh = color_network(network)
+    got = tracker.get()
+    assert got.cone == fresh.cone, context
+    assert got.shape == fresh.shape, context
+    assert got.leaf_class == fresh.leaf_class, context
+
+
+def random_rewire(network, rng):
+    """Commit one random pin rewire (swap_fanins or replace_fanin)."""
+    if rng.random() < 0.5:
+        swaps = [
+            swap
+            for sg in extract_supergates(network).nontrivial()
+            for swap in enumerate_swaps(
+                sg, leaves_only=True, include_inverting=False,
+                network=network,
+            )
+        ]
+        if swaps:
+            swap = rng.choice(swaps)
+            network.swap_fanins(swap.pin_a, swap.pin_b)
+            return f"swap {swap.pin_a}<->{swap.pin_b}"
+    # rewiring a pin to a primary input is always acyclic; the
+    # coloring tracks structure, not function, so any rewire is fair
+    pins = sorted(
+        pin
+        for gate in network.gates()
+        for pin in (network.fanout(net)
+                    for net in gate.fanins)
+        for pin in pin
+        if pin.gate == gate.name
+    )
+    pin = rng.choice(pins)
+    target = rng.choice(sorted(network.inputs))
+    if network.fanin_net(pin) == target:
+        return None
+    network.replace_fanin(pin, target)
+    return f"rewire {pin} -> {target}"
+
+
+@pytest.mark.parametrize("seed", [1, 2, 5, 9, 12])
+def test_incremental_matches_full_after_random_rewires(seed):
+    net = prepared(seed)
+    tracker = NetlistColoring(net)
+    tracker.get()
+    rng = random.Random(1000 + seed)
+    moves = 0
+    for step in range(14):
+        label = random_rewire(net, rng)
+        if label is None:
+            continue
+        moves += 1
+        assert_matches_fresh(tracker, net, context=f"step {step}: {label}")
+    assert moves, "property test never exercised a rewire"
+    # the whole sequence must have been served incrementally
+    assert tracker.full_colorings == 1
+    assert tracker.cone_repairs == moves
+    assert tracker.nodes_recolored > 0
+
+
+@pytest.mark.parametrize("seed", [3, 8])
+def test_batched_rewires_before_one_get(seed):
+    """Several rewires between reads collapse into one repair."""
+    net = prepared(seed)
+    tracker = NetlistColoring(net)
+    tracker.get()
+    rng = random.Random(seed)
+    applied = 0
+    for _ in range(6):
+        if random_rewire(net, rng) is not None:
+            applied += 1
+    assert applied >= 2
+    assert_matches_fresh(tracker, net, context="batched")
+    assert tracker.full_colorings == 1
+    assert tracker.cone_repairs == 1
+
+
+def test_structural_mutation_falls_back_to_full():
+    net = prepared(21)
+    tracker = NetlistColoring(net)
+    tracker.get()
+    first = sorted(net.gate_names())[0]
+    stem = net.gate(first).fanins[0]
+    net.add_gate("t_extra", GateType.AND, [stem, sorted(net.inputs)[0]])
+    assert_matches_fresh(tracker, net, context="add_gate")
+    assert tracker.full_colorings == 2
+
+    victim = sorted(
+        name for name in net.gate_names()
+        if net.gate(name).gtype in (GateType.AND, GateType.OR)
+    )[0]
+    net.set_gate_type(victim, GateType.NAND)
+    assert_matches_fresh(tracker, net, context="set_gate_type")
+    assert tracker.full_colorings == 3
+
+
+def test_untracked_touch_falls_back_to_full():
+    net = prepared(33)
+    tracker = NetlistColoring(net)
+    tracker.get()
+    net._touch()  # untracked mutation: must trigger a full recoloring
+    assert_matches_fresh(tracker, net, context="touch")
+    assert tracker.full_colorings == 2
+
+
+def test_rewire_updates_region_membership():
+    """Leaf classes are rebuilt, not just colors: a rewire that
+    changes which gates a region absorbs must be reflected."""
+    net = prepared(42)
+    tracker = NetlistColoring(net)
+    before = dict(tracker.get().leaf_class)
+    rng = random.Random(7)
+    changed = False
+    for _ in range(20):
+        if random_rewire(net, rng) is None:
+            continue
+        after = tracker.get().leaf_class
+        assert after == color_network(net).leaf_class
+        if after != before:
+            changed = True
+            break
+    assert changed, "no rewire ever moved a region boundary"
+    assert tracker.region_rebuilds > 0
+    assert tracker.full_colorings == 1
